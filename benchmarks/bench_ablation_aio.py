@@ -1,0 +1,34 @@
+"""Ablation: thread-pool observer model vs asyncio event loop.
+
+The paper coordinates asynchronous submissions with client threads; the
+asyncio front end (repro.runtime.aio) coordinates them with coroutines.
+Both express the same Rule A two-loop shape and pay the same substrate
+costs, so this isolates client-coordination overhead.  The expectation:
+comparable times, with the same improvement-then-plateau as the
+in-flight budget grows.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_ablation_aio(benchmark):
+    figure = run_once(benchmark, figures.run_ablation_aio)
+    print()
+    print(figure.format())
+    threads = {x: s for x, s in figure.series[0].points}
+    aio = {x: s for x, s in figure.series[1].points}
+    # Both runtimes must improve substantially from 1 to 20 in flight.
+    assert threads[20] < threads[1] * 0.6
+    assert aio[20] < aio[1] * 0.6
+    # At matched budgets the runtimes stay within 3x of each other.
+    for budget in threads:
+        ratio = aio[budget] / threads[budget]
+        assert 1 / 3 < ratio < 3, f"budget {budget}: ratio {ratio:.2f}"
+
+
+if __name__ == "__main__":
+    print(figures.run_ablation_aio().format())

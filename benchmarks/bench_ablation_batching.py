@@ -1,0 +1,122 @@
+"""Ablation: asynchronous submission vs batching (paper Introduction).
+
+The paper positions the two techniques precisely:
+
+* batching removes per-iteration round trips — with *light* client work
+  it is the cheapest discipline;
+* but "it does not overlap client computation with that of the server,
+  as the client completely blocks after submitting the batch" — with
+  *heavy* per-iteration client work, asynchronous submission wins
+  because the computation runs while requests are in flight.
+
+This benchmark measures blocking / batched / async under both regimes
+and asserts exactly that crossover.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import _scaled
+from repro.bench.harness import FigureData, measure
+from repro.client.batching import BatchExecutor
+from repro.db.latency import SYS1
+from repro.workloads import rubis
+
+
+def make_client_work(weight: int):
+    def client_work(pair):
+        comment_id, author_id = pair
+        text = f"comment-{comment_id}-user-{author_id}" * weight
+        return sum(ord(ch) for ch in text) & 0xFFFF
+
+    return client_work
+
+
+def run_comparison(iterations: int = 2000, threads: int = 20) -> FigureData:
+    from dataclasses import replace
+
+    # A heavier analytical query per iteration (4 ms of server time):
+    # this is where the disciplines differ — batching blocks the client
+    # for the whole server-side batch, async overlaps it.
+    profile = replace(_scaled(SYS1), cpu_fixed_s=4e-3)
+    figure = FigureData(
+        figure_id="ablation-batching",
+        title=f"Blocking vs batched vs async ({iterations} iterations)",
+        x_label="x = regime*10 + discipline (0=blk 1=batch 2=async)",
+        paper_reference="Intro: batching saves round trips; async also "
+        "overlaps client computation",
+    )
+    db = rubis.build_database(profile)
+    try:
+        comments = rubis.comment_batch(db, iterations)
+        series = figure.new_series("time")
+        for regime_index, (regime, weight) in enumerate(
+            (("light", 2), ("heavy", 320))
+        ):
+            client_work = make_client_work(weight)
+
+            def blocking():
+                with db.connect(async_workers=1) as conn:
+                    out = rubis.load_comment_authors(conn, list(comments))
+                    checksum = sum(client_work(pair) for pair in comments)
+                    return len(out) + checksum
+
+            def batched():
+                with db.connect(async_workers=1) as conn:
+                    batch = BatchExecutor(conn)
+                    results = batch.execute_batch(
+                        rubis.AUTHOR_SQL, [(c[1],) for c in comments]
+                    )
+                    # client work strictly AFTER the blocking batch
+                    checksum = sum(client_work(pair) for pair in comments)
+                    return len(results) + checksum
+
+            def asynchronous():
+                with db.connect(async_workers=threads) as conn:
+                    handles = [
+                        conn.submit_query(rubis.AUTHOR_SQL, [pair[1]])
+                        for pair in comments
+                    ]
+                    # client work overlaps the in-flight requests
+                    checksum = sum(client_work(pair) for pair in comments)
+                    results = [conn.fetch_result(h) for h in handles]
+                    return len(results) + checksum
+
+            expected = None
+            for discipline_index, (label, runner) in enumerate(
+                (("blocking", blocking), ("batched", batched),
+                 ("async", asynchronous))
+            ):
+                db.warm_table("users")
+                value, seconds = measure(runner)
+                if expected is None:
+                    expected = value
+                assert value == expected
+                series.add(regime_index * 10 + discipline_index, seconds)
+                figure.notes.append(f"{regime}/{label}: {seconds:.3f}s")
+    finally:
+        db.close()
+    return figure
+
+
+def test_ablation_batching(benchmark):
+    figure = run_once(benchmark, run_comparison)
+    print()
+    print(figure.format())
+    times = {x: s for x, s in figure.series[0].points}
+    # Light client work: both optimizations beat blocking decisively.
+    assert times[1] < times[0]
+    assert times[2] < times[0]
+    # Heavy client work: async must beat batching — the overlap the
+    # paper's introduction argues batching cannot provide.
+    assert times[11] < times[10]
+    assert times[12] < times[10]
+    assert times[12] < times[11], (
+        "async must overlap the heavy client work that batching "
+        f"serializes (async {times[12]:.3f}s vs batched {times[11]:.3f}s)"
+    )
+
+
+if __name__ == "__main__":
+    print(run_comparison().format())

@@ -1,0 +1,93 @@
+"""Validation: the Discussion-section cost model against measurements.
+
+Checks that the analytic estimates (``repro.transform.costmodel``)
+reproduce the two shapes they exist to predict:
+
+* the Figure 8 crossover — below the predicted break-even iteration
+  count the transformed program loses, above it it wins;
+* the Figure 9 plateau — the recommended thread count is within the
+  measured plateau.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import _scaled, transformed_kernel
+from repro.bench.harness import FigureData, measure
+from repro.db.latency import SYS1
+from repro.transform.costmodel import (
+    breakeven_iterations,
+    estimate_loop_cost,
+    recommend_threads,
+)
+from repro.workloads import rubis
+
+
+def run_validation() -> FigureData:
+    profile = _scaled(SYS1)
+    figure = FigureData(
+        figure_id="costmodel",
+        title="Cost-model predictions vs measurements",
+        x_label="iterations",
+        paper_reference="Discussion: cost-based 'which calls to transform' "
+        "and 'how many threads'",
+    )
+    predicted = breakeven_iterations(profile, threads=10)
+    figure.notes.append(f"predicted break-even: {predicted} iterations")
+    threads_choice = recommend_threads(profile, 4000)
+    figure.notes.append(f"recommended threads for 4000 iterations: {threads_choice}")
+
+    db = rubis.build_database(profile)
+    try:
+        rewritten = transformed_kernel(rubis.load_comment_authors)
+        orig_series = figure.new_series("measured-orig")
+        trans_series = figure.new_series("measured-trans")
+        pred_orig = figure.new_series("predicted-orig")
+        pred_trans = figure.new_series("predicted-trans")
+        for iterations in (4, 40, 400, 2000):
+            comments = rubis.comment_batch(db, iterations)
+            db.warm_table("users")
+
+            def run(kernel):
+                with db.connect(async_workers=10) as conn:
+                    kernel(conn, list(comments))  # warm
+                def once():
+                    with db.connect(async_workers=10) as conn:
+                        return kernel(conn, list(comments))
+                return measure(once)[1]
+
+            orig_series.add(iterations, run(rubis.load_comment_authors))
+            trans_series.add(iterations, run(rewritten))
+            estimate = estimate_loop_cost(profile, iterations, threads=10,
+                                          server_time_s=60e-6)
+            pred_orig.add(iterations, estimate.blocking_s)
+            pred_trans.add(iterations, estimate.async_s)
+    finally:
+        db.close()
+    return figure
+
+
+def test_costmodel_predictions(benchmark):
+    figure = run_once(benchmark, run_validation)
+    print()
+    print(figure.format())
+    measured_orig = dict(figure.series[0].points)
+    measured_trans = dict(figure.series[1].points)
+    predicted_orig = dict(figure.series[2].points)
+    predicted_trans = dict(figure.series[3].points)
+    # Direction agreement at the extremes of the sweep:
+    top = 2000
+    assert measured_trans[top] < measured_orig[top]
+    assert predicted_trans[top] < predicted_orig[top]
+    bottom = 4
+    assert predicted_trans[bottom] > predicted_orig[bottom]
+    # Predictions within a factor of five of measurements at the top:
+    # the model is first-order (no OS timer slack, no thread handoffs) —
+    # it exists to predict shape and break-even, not absolute times.
+    ratio = measured_trans[top] / predicted_trans[top]
+    assert 1 / 5 < ratio < 5, f"prediction off by {ratio}"
+
+
+if __name__ == "__main__":
+    print(run_validation().format())

@@ -1,0 +1,24 @@
+"""Figure 10: the Figure 9 thread sweep against the PostgreSQL profile.
+
+Paper shape: "follow the same pattern as in the case of SYS1", at lower
+absolute times.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_fig10_rubis_threads_postgres(benchmark):
+    figure = run_once(benchmark, figures.run_fig10)
+    print()
+    print(figure.format())
+    trans = {x: s for x, s in figure.series[1].points}
+    assert trans[1] / trans[10] > 2.5
+    assert abs(trans[20] - trans[50]) / trans[20] < 0.4
+
+
+if __name__ == "__main__":
+    print(figures.run_fig10().format())

@@ -1,0 +1,22 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark runs its figure sweep exactly once (``pedantic`` with one
+round): the sweep itself already contains the repeated measurements, and
+re-running multi-second sweeps would make the suite needlessly slow.
+Run with ``-s`` to see the figure tables; they are also printed into the
+captured output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Run ``runner`` once under pytest-benchmark and return its figure."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_threads():
+    yield

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The observer model on asyncio: coroutines instead of client threads.
+
+The paper coordinates asynchronous query submissions with a client
+thread pool (Java's Executor framework).  Python's modern equivalent is
+``asyncio`` — and the Rule A output shape (submit loop, fetch loop) maps
+one-to-one onto coroutine code.  This example runs Experiment 1's
+comment/author loop three ways on the simulated SYS1 server:
+
+1. the original blocking loop (one round trip per iteration),
+2. Rule A's two-loop shape written with ``submit_query`` / ``await``,
+3. the Section II *callback model* via ``as_completed`` (results
+   processed in completion order — fine here because summing is
+   commutative).
+
+Run:  python examples/asyncio_pipeline.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.db import SYS1
+from repro.runtime.aio import aio_connect, as_completed
+from repro.workloads import rubis
+
+ITERATIONS = 1500
+IN_FLIGHT = 20
+
+
+def run_blocking(db, comments):
+    with db.connect(async_workers=1) as conn:
+        started = time.perf_counter()
+        authors = rubis.load_comment_authors(conn, list(comments))
+        return authors, time.perf_counter() - started
+
+
+async def run_observer(db, comments):
+    """Rule A's two loops, as coroutine code."""
+    with aio_connect(db, max_in_flight=IN_FLIGHT) as conn:
+        started = time.perf_counter()
+        # Loop 1: non-blocking submissions (one record per iteration —
+        # the split variable `comment` rides along in the tuple).
+        pending = [
+            (comment, conn.submit_query(rubis.AUTHOR_SQL, [comment[1]]))
+            for comment in comments
+        ]
+        # Loop 2: blocking fetches in submission order.
+        authors = []
+        for comment, handle in pending:
+            row = await conn.fetch_result(handle)
+            authors.append((comment[0], row[0][0], row[0][1]))
+        return authors, time.perf_counter() - started
+
+
+async def run_callbacks(db, comments):
+    """Callback model: process whichever result lands first."""
+    with aio_connect(db, max_in_flight=IN_FLIGHT) as conn:
+        started = time.perf_counter()
+        handles = [
+            conn.submit_query(rubis.AUTHOR_SQL, [comment[1]])
+            for comment in comments
+        ]
+        ratings_total = 0
+        processed = 0
+        async for row in as_completed(handles):
+            ratings_total += row[0][1]
+            processed += 1
+        return (processed, ratings_total), time.perf_counter() - started
+
+
+def main() -> None:
+    db = rubis.build_database(SYS1)
+    try:
+        comments = rubis.comment_batch(db, ITERATIONS)
+
+        print("=" * 70)
+        print(f"Experiment 1 loop, {ITERATIONS} iterations, simulated SYS1")
+        print("=" * 70)
+
+        blocking_authors, blocking_s = run_blocking(db, comments)
+        print(f"blocking loop:                {blocking_s:7.3f}s")
+
+        observer_authors, observer_s = asyncio.run(run_observer(db, comments))
+        assert observer_authors == blocking_authors, "results must match"
+        print(
+            f"asyncio observer model:       {observer_s:7.3f}s"
+            f"   ({blocking_s / observer_s:4.1f}x, results identical)"
+        )
+
+        (count, total), callback_s = asyncio.run(run_callbacks(db, comments))
+        assert count == len(comments)
+        assert total == sum(author[2] for author in blocking_authors)
+        print(
+            f"asyncio callback model:       {callback_s:7.3f}s"
+            f"   ({blocking_s / callback_s:4.1f}x, completion order)"
+        )
+
+        print()
+        print(
+            "The observer model keeps results in submission order (needed\n"
+            "when later statements depend on them); the callback model\n"
+            "processes results as they complete and suits commutative\n"
+            "aggregation.  Both overlap all round trips, which is where\n"
+            "the speedup comes from."
+        )
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Updates and transactions: the Discussion-section rules, live.
+
+The paper transforms Experiment 4's INSERT loop by declaring the
+key-distinct INSERTs *commutative* — but leaves "the interaction between
+asynchronous queries and transaction semantics" as future work.  This
+example shows the rules this reproduction adopts:
+
+1. Each form-issue batch loads atomically: all of its INSERTs run inside
+   one transaction, so a mid-batch validation failure rolls the whole
+   batch back (no half-expanded ranges in ``forms_master``).
+2. Asynchronous *reads* are allowed while the transaction is open —
+   the audit query below overlaps the INSERT stream.
+3. Asynchronous *updates* inside a transaction are rejected: their
+   errors could not be observed before the commit decision.  The
+   transformed (async-INSERT) path therefore runs in autocommit, exactly
+   as the paper's Experiment 4 does.
+
+Run:  python examples/transactional_forms.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.db import SYS1, TransactionStateError
+from repro.workloads import forms
+
+AUDIT_SQL = "SELECT count(form_no) FROM forms_master WHERE agent_id = ?"
+
+
+def load_batch_atomically(conn, issue, fail_after=None):
+    """Expand one issue range inside a transaction.
+
+    ``fail_after`` simulates an application validation error after that
+    many inserts, demonstrating rollback.
+    """
+    agent_id, start_no, end_no = issue
+    with conn.transaction():
+        done = 0
+        for form_no in range(start_no, end_no + 1):
+            conn.execute_update(forms.INSERT_FORM_SQL, [form_no, agent_id])
+            done += 1
+            if fail_after is not None and done >= fail_after:
+                raise ValueError(f"validation failed after {done} forms")
+    return done
+
+
+def main() -> None:
+    db = forms.build_database(SYS1)
+    try:
+        conn = db.connect(async_workers=10)
+        issues = forms.issue_batch(total_forms=600, range_size=60)
+
+        print("=" * 70)
+        print("1. Atomic batch loads (commit path)")
+        print("=" * 70)
+        started = time.perf_counter()
+        loaded = sum(load_batch_atomically(conn, issue) for issue in issues)
+        elapsed = time.perf_counter() - started
+        print(
+            f"loaded {loaded} forms in {len(issues)} transactions "
+            f"({elapsed:.3f}s); table holds {forms.loaded_form_count(db)} rows"
+        )
+
+        print()
+        print("=" * 70)
+        print("2. Rollback on mid-batch failure")
+        print("=" * 70)
+        before = forms.loaded_form_count(db)
+        try:
+            load_batch_atomically(conn, (999, 100_000, 100_059), fail_after=30)
+        except ValueError as exc:
+            print(f"batch aborted: {exc}")
+        after = forms.loaded_form_count(db)
+        print(
+            f"rows before = {before}, after = {after} "
+            f"(the 30 inserted forms were rolled back)"
+        )
+        assert before == after
+
+        print()
+        print("=" * 70)
+        print("3. Async reads overlap an open transaction")
+        print("=" * 70)
+        conn.begin()
+        conn.execute_update(forms.INSERT_FORM_SQL, [200_000, 7])
+        # Reads submitted *during* the transaction see its own writes
+        # (table-level locks; the reader is the same transaction).
+        agents = sorted({issue[0] for issue in issues})[:4] + [7]
+        handles = [conn.submit_query(AUDIT_SQL, [agent]) for agent in agents]
+        counts = [conn.fetch_result(handle).scalar() for handle in handles]
+        print(f"audit counts while txn open: {dict(zip(agents, counts))}")
+        assert counts[-1] >= 1  # the uncommitted insert is visible to us
+
+        try:
+            conn.submit_update(forms.INSERT_FORM_SQL, [200_001, 7])
+        except TransactionStateError as exc:
+            print(f"async update rejected, as specified: {exc}")
+        conn.rollback()
+        print("transaction rolled back; audit insert undone")
+
+        conn.close()
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

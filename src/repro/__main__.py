@@ -1,0 +1,7 @@
+"""``python -m repro`` — the source-to-source transformation CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,20 @@
+"""Dependence analysis: the Data Dependence Graph and its queries.
+
+Implements Section III-A of the paper (FD/AD/OD edges, loop-carried
+variants, external dependencies) plus the true-dependence path/cycle
+machinery of Section IV (Definition 4.1 and Theorem 4.1's sufficient
+condition).
+"""
+
+from .cycles import has_true_path, on_true_cycle, true_adjacency
+from .ddg import DDG, Edge, build_ddg, edge_crosses
+
+__all__ = [
+    "DDG",
+    "Edge",
+    "build_ddg",
+    "edge_crosses",
+    "has_true_path",
+    "on_true_cycle",
+    "true_adjacency",
+]

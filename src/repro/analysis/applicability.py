@@ -1,0 +1,121 @@
+"""Applicability analysis (paper Table I).
+
+Scans application source for *opportunities* — loop structures that
+include a query execution statement — and dry-runs the transformation
+engine to see how many of them the rules exploit, recording the blocking
+reason for the rest.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..ir.purity import PurityEnv
+from ..transform.engine import TransformEngine
+from ..transform.registry import QueryRegistry
+
+
+@dataclass
+class OpportunityRow:
+    """One loop structure containing query execution statements."""
+
+    function: str
+    lineno: int
+    kind: str
+    transformed: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ApplicabilityReport:
+    """Per-application aggregate, one row of the paper's Table I."""
+
+    application: str
+    rows: List[OpportunityRow]
+
+    @property
+    def opportunities(self) -> int:
+        return len(self.rows)
+
+    @property
+    def transformed(self) -> int:
+        return sum(1 for row in self.rows if row.transformed)
+
+    @property
+    def applicability_percent(self) -> float:
+        if not self.rows:
+            return 0.0
+        return 100.0 * self.transformed / self.opportunities
+
+    def table_row(self) -> str:
+        return (
+            f"{self.application:<16} {self.opportunities:>14} "
+            f"{self.transformed:>13} {self.applicability_percent:>14.0f}"
+        )
+
+    def details(self) -> str:
+        lines = [
+            f"{self.application}: {self.transformed}/{self.opportunities} "
+            f"({self.applicability_percent:.0f}%)"
+        ]
+        for row in self.rows:
+            state = "transformed" if row.transformed else "blocked"
+            reason = f" ({', '.join(sorted(set(row.reasons)))})" if row.reasons else ""
+            lines.append(f"  {row.function}:{row.lineno} [{row.kind}] {state}{reason}")
+        return "\n".join(lines)
+
+
+Source = Union[str, Callable, object]
+
+
+def analyze_source(
+    source: str,
+    application: str = "",
+    registry: Optional[QueryRegistry] = None,
+    purity: Optional[PurityEnv] = None,
+) -> ApplicabilityReport:
+    """Dry-run the engine over ``source`` and aggregate loop outcomes."""
+    engine = TransformEngine(registry=registry, purity=purity)
+    result = engine.transform_source(source)
+    rows = [
+        OpportunityRow(
+            function=report.function,
+            lineno=report.lineno,
+            kind=report.kind,
+            transformed=report.transformed,
+            reasons=[
+                outcome.reason
+                for outcome in report.outcomes
+                if outcome.status == "blocked" and outcome.reason
+            ],
+        )
+        for report in result.reports
+    ]
+    return ApplicabilityReport(application=application, rows=rows)
+
+
+def analyze_functions(
+    functions: Sequence[Callable],
+    application: str = "",
+    registry: Optional[QueryRegistry] = None,
+    purity: Optional[PurityEnv] = None,
+) -> ApplicabilityReport:
+    """Analyze a list of workload functions (Table I driver)."""
+    pieces = [textwrap.dedent(inspect.getsource(fn)) for fn in functions]
+    return analyze_source(
+        "\n\n".join(pieces), application=application, registry=registry, purity=purity
+    )
+
+
+def format_table_one(reports: Sequence[ApplicabilityReport]) -> str:
+    """Render the paper's Table I."""
+    header = (
+        f"{'Application':<16} {'#Opportunities':>14} "
+        f"{'#Transformed':>13} {'Applicability%':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(report.table_row() for report in reports)
+    return "\n".join(lines)

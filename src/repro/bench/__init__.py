@@ -1,0 +1,26 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+:mod:`repro.bench.figures` has one ``run_figNN`` entry point per figure
+(8–15), plus Table I, the transformation-time measurement and the
+ablation studies from DESIGN.md §5.  Each returns a
+:class:`~repro.bench.harness.FigureData` whose ``format()`` prints the
+same series the paper plots.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplies every simulated latency (default 1.0).
+* ``REPRO_BENCH_FULL``  — set to 1 to extend the iteration grids to the
+  paper's full ranges (minutes instead of seconds).
+"""
+
+from .harness import FigureData, FigureSeries, Measurement, bench_scale, full_mode
+from . import figures
+
+__all__ = [
+    "FigureData",
+    "FigureSeries",
+    "Measurement",
+    "bench_scale",
+    "full_mode",
+    "figures",
+]

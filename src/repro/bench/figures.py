@@ -1,0 +1,758 @@
+"""One runner per paper figure/table (see DESIGN.md §4 for the index).
+
+Every runner builds its workload database at a scaled-down size, runs
+the *original* blocking kernel and the *automatically transformed*
+kernel over the paper's parameter grid, verifies the two produce
+identical results, and returns a :class:`FigureData` with the same
+series the paper plots.  Absolute times are scaled (our latencies are
+microsecond-scale stand-ins for the paper's 2011 testbed); the shapes —
+who wins, where the crossover sits, where the thread plateau starts —
+are what EXPERIMENTS.md validates.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..db.latency import POSTGRES, SYS1, LatencyProfile
+from ..transform import TransformEngine, asyncify, default_registry
+from ..web.service import WebLatency
+from ..workloads import category, forms, moviegraph, rubbos, rubis
+from ..analysis.applicability import (
+    ApplicabilityReport,
+    analyze_functions,
+    format_table_one,
+)
+from .harness import FigureData, bench_scale, full_mode, measure
+
+#: Default client thread count used by the iteration-sweep figures.
+DEFAULT_THREADS = 10
+#: Paper thread grid for Figures 9/10/13.
+THREAD_GRID = (1, 2, 5, 10, 20, 30, 40, 50)
+
+_TRANSFORMED_CACHE: Dict[Tuple[Callable, int], Callable] = {}
+
+
+def transformed_kernel(kernel: Callable, registry=None) -> Callable:
+    """Asyncify ``kernel`` once and cache the result."""
+    key = (kernel, id(registry) if registry is not None else 0)
+    if key not in _TRANSFORMED_CACHE:
+        _TRANSFORMED_CACHE[key] = asyncify(kernel, registry=registry)
+    return _TRANSFORMED_CACHE[key]
+
+
+def _scaled(profile: LatencyProfile) -> LatencyProfile:
+    scale = bench_scale()
+    return profile.scaled(scale) if scale != 1.0 else profile
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: RUBiS auction (Figures 8, 9, 10)
+# ----------------------------------------------------------------------
+
+
+def _rubis_run(db, kernel, comments, threads: int, cold: bool):
+    """One measured run.
+
+    Connection setup/teardown — including the client thread pool the
+    transformed program needs — happens *inside* the measured region,
+    as in the paper ("the overhead of thread creation and scheduling
+    overshoots the query execution time" at small iteration counts).
+    """
+    if cold:
+        db.flush_cache()
+    else:
+        warm = db.connect(async_workers=threads)
+        try:
+            kernel(warm, list(comments))  # fault in the touched pages
+        finally:
+            warm.close()
+
+    def run():
+        connection = db.connect(async_workers=threads)
+        try:
+            return kernel(connection, list(comments))
+        finally:
+            connection.close()
+
+    return measure(run)
+
+
+def run_fig08(
+    iterations: Optional[Sequence[int]] = None,
+    cold_iterations: Optional[Sequence[int]] = None,
+    threads: int = DEFAULT_THREADS,
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Figure 8: Experiment 1 with varying number of iterations."""
+    if iterations is None:
+        iterations = (4, 40, 400, 4000, 40000) if full_mode() else (4, 40, 400, 4000)
+    if cold_iterations is None:
+        cold_iterations = (4, 40, 400, 4000) if full_mode() else (4, 40, 400)
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="fig08",
+        title=f"RUBiS comment/author loop vs iterations ({profile.name}, "
+        f"{threads} threads)",
+        x_label="iterations",
+        paper_reference="Fig. 8: 8x at 40k iterations warm; transformed "
+        "slower at 4 iterations",
+    )
+    db = rubis.build_database(profile)
+    try:
+        original = rubis.load_comment_authors
+        rewritten = transformed_kernel(original)
+        series = {
+            ("cold", False): figure.new_series("orig-cold"),
+            ("cold", True): figure.new_series("trans-cold"),
+            ("warm", False): figure.new_series("orig-warm"),
+            ("warm", True): figure.new_series("trans-warm"),
+        }
+        grids = {"warm": iterations, "cold": cold_iterations}
+        for cache in ("cold", "warm"):
+            for count in grids[cache]:
+                comments = rubis.comment_batch(db, count)
+                base, base_s = _rubis_run(
+                    db, original, comments, threads, cold=(cache == "cold")
+                )
+                fast, fast_s = _rubis_run(
+                    db, rewritten, comments, threads, cold=(cache == "cold")
+                )
+                assert base == fast, "transformed kernel changed results"
+                series[(cache, False)].add(count, base_s)
+                series[(cache, True)].add(count, fast_s)
+        top = max(iterations)
+        gain = figure.speedup("orig-warm", "trans-warm", top)
+        if gain:
+            figure.notes.append(f"warm speedup at {top} iterations: {gain:.1f}x")
+    finally:
+        db.close()
+    return figure
+
+
+def _thread_sweep(
+    figure_id: str,
+    profile: LatencyProfile,
+    threads_grid: Sequence[int],
+    iterations: int,
+    paper_reference: str,
+) -> FigureData:
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id=figure_id,
+        title=f"RUBiS loop vs client threads ({profile.name}, warm, "
+        f"{iterations} iterations)",
+        x_label="threads",
+        paper_reference=paper_reference,
+    )
+    db = rubis.build_database(profile)
+    try:
+        original = rubis.load_comment_authors
+        rewritten = transformed_kernel(original)
+        comments = rubis.comment_batch(db, iterations)
+        base, base_s = _rubis_run(db, original, comments, 1, cold=False)
+        orig_series = figure.new_series("orig")
+        trans_series = figure.new_series("trans")
+        for threads in threads_grid:
+            fast, fast_s = _rubis_run(db, rewritten, comments, threads, cold=False)
+            assert base == fast
+            orig_series.add(threads, base_s)  # flat line, as the paper plots
+            trans_series.add(threads, fast_s)
+        best = min(seconds for _x, seconds in trans_series.points)
+        figure.notes.append(
+            f"plateau: best transformed time {best:.3f}s vs 1-thread "
+            f"{trans_series.at(threads_grid[0]):.3f}s"
+        )
+    finally:
+        db.close()
+    return figure
+
+
+def run_fig09(
+    threads_grid: Sequence[int] = THREAD_GRID, iterations: Optional[int] = None
+) -> FigureData:
+    """Figure 9: Experiment 1 with varying threads on SYS1."""
+    if iterations is None:
+        iterations = 40000 if full_mode() else 4000
+    return _thread_sweep(
+        "fig09", SYS1, threads_grid, iterations,
+        "Fig. 9: sharp drop to ~10 threads, then flat",
+    )
+
+
+def run_fig10(
+    threads_grid: Sequence[int] = THREAD_GRID, iterations: Optional[int] = None
+) -> FigureData:
+    """Figure 10: the same sweep against the PostgreSQL profile."""
+    if iterations is None:
+        iterations = 40000 if full_mode() else 4000
+    return _thread_sweep(
+        "fig10", POSTGRES, threads_grid, iterations,
+        "Fig. 10: same pattern as SYS1 at lower absolute times",
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: RUBBoS bulletin board (Figure 11)
+# ----------------------------------------------------------------------
+
+
+def run_fig11(
+    iterations: Optional[Sequence[int]] = None,
+    threads: int = DEFAULT_THREADS,
+    profile: LatencyProfile = POSTGRES,
+) -> FigureData:
+    """Figure 11: top-stories listing vs iterations (PostgreSQL, warm)."""
+    if iterations is None:
+        iterations = (6, 60, 600, 6000) if full_mode() else (6, 60, 600)
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="fig11",
+        title=f"RUBBoS top stories vs iterations ({profile.name}, warm, "
+        f"{threads} threads)",
+        x_label="iterations",
+        paper_reference="Fig. 11: 3.6s -> 0.8s at 6000 iterations; "
+        "transformed slightly slower at 6",
+    )
+    db = rubbos.build_database(profile)
+    try:
+        original = rubbos.top_stories_of_day
+        rewritten = transformed_kernel(original)
+        orig_series = figure.new_series("orig-warm")
+        trans_series = figure.new_series("trans-warm")
+        for count in iterations:
+            stories = rubbos.story_batch(db, count)
+            connection = db.connect(async_workers=threads)
+            try:
+                original(connection, list(stories))  # warm
+                base, base_s = measure(lambda: original(connection, list(stories)))
+                fast, fast_s = measure(lambda: rewritten(connection, list(stories)))
+                assert base == fast
+            finally:
+                connection.close()
+            orig_series.add(count, base_s)
+            trans_series.add(count, fast_s)
+        top = max(iterations)
+        gain = figure.speedup("orig-warm", "trans-warm", top)
+        if gain:
+            figure.notes.append(f"speedup at {top} iterations: {gain:.1f}x")
+    finally:
+        db.close()
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Experiment 3: category traversal (Figures 12, 13)
+# ----------------------------------------------------------------------
+
+
+def _category_run(db, kernel, children, roots, threads: int, cold: bool):
+    if cold:
+        db.flush_cache()
+    else:
+        warm = db.connect(async_workers=threads)
+        try:
+            kernel(warm, children, list(roots))
+        finally:
+            warm.close()
+
+    def run():
+        connection = db.connect(async_workers=threads)
+        try:
+            return kernel(connection, children, list(roots))
+        finally:
+            connection.close()
+
+    return measure(run)
+
+
+def run_fig12(
+    iterations: Sequence[int] = (1, 11, 100),
+    threads: int = DEFAULT_THREADS,
+    profile: LatencyProfile = SYS1,
+    parts: int = 30_000,
+) -> FigureData:
+    """Figure 12: category DFS vs iterations (nodes visited), warm+cold."""
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="fig12",
+        title=f"Category traversal vs iterations ({profile.name}, "
+        f"{threads} threads)",
+        x_label="iterations",
+        paper_reference="Fig. 12: 190s -> 6.3s cold at 100 iterations; "
+        "warm nearly flat at small counts",
+    )
+    db = category.build_database(profile, parts=parts)
+    try:
+        children = category.load_children(db)
+        original = category.max_part_size
+        rewritten = transformed_kernel(original)
+        series = {
+            ("cold", False): figure.new_series("orig-cold"),
+            ("cold", True): figure.new_series("trans-cold"),
+            ("warm", False): figure.new_series("orig-warm"),
+            ("warm", True): figure.new_series("trans-warm"),
+        }
+        for cache in ("cold", "warm"):
+            for count in iterations:
+                roots = category.roots_for_iterations(count)
+                base, base_s = _category_run(
+                    db, original, children, roots, threads, cold=(cache == "cold")
+                )
+                fast, fast_s = _category_run(
+                    db, rewritten, children, roots, threads, cold=(cache == "cold")
+                )
+                assert base == fast
+                series[(cache, False)].add(count, base_s)
+                series[(cache, True)].add(count, fast_s)
+        gain = figure.speedup("orig-cold", "trans-cold", max(iterations))
+        if gain:
+            figure.notes.append(
+                f"cold speedup at {max(iterations)} iterations: {gain:.1f}x"
+            )
+    finally:
+        db.close()
+    return figure
+
+
+def run_fig13(
+    threads_grid: Sequence[int] = THREAD_GRID,
+    iterations: int = 100,
+    profile: LatencyProfile = SYS1,
+    parts: int = 30_000,
+) -> FigureData:
+    """Figure 13: category DFS vs threads (cold cache)."""
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="fig13",
+        title=f"Category traversal vs threads ({profile.name}, cold, "
+        f"{iterations} iterations)",
+        x_label="threads",
+        paper_reference="Fig. 13: steep drop then plateau; cold and warm "
+        "trends match",
+    )
+    db = category.build_database(profile, parts=parts)
+    try:
+        children = category.load_children(db)
+        original = category.max_part_size
+        rewritten = transformed_kernel(original)
+        roots = category.roots_for_iterations(iterations)
+        base, base_s = _category_run(db, original, children, roots, 1, cold=True)
+        orig_series = figure.new_series("orig")
+        trans_series = figure.new_series("trans")
+        for threads in threads_grid:
+            fast, fast_s = _category_run(
+                db, rewritten, children, roots, threads, cold=True
+            )
+            assert base == fast
+            orig_series.add(threads, base_s)
+            trans_series.add(threads, fast_s)
+    finally:
+        db.close()
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Experiment 4: value range expansion (Figure 14)
+# ----------------------------------------------------------------------
+
+
+def run_fig14(
+    totals: Optional[Sequence[int]] = None,
+    threads: int = 30,
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Figure 14: INSERT expansion vs number of forms inserted."""
+    if totals is None:
+        totals = (10, 100, 1000, 10000, 100000) if full_mode() else (10, 100, 1000, 10000)
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="fig14",
+        title=f"Forms range expansion vs iterations ({profile.name}, "
+        f"{threads} threads)",
+        x_label="forms inserted",
+        paper_reference="Fig. 14: 73s -> 1.1s at 100k inserts (99.1 "
+        "crossover line); cache-state independent",
+    )
+    registry = forms.commuting_registry()
+    original = forms.expand_form_ranges
+    rewritten = transformed_kernel(original, registry=registry)
+    orig_series = figure.new_series("orig")
+    trans_series = figure.new_series("trans")
+    for total in totals:
+        issues = forms.issue_batch(total)
+        for kernel, series in ((original, orig_series), (rewritten, trans_series)):
+            db = forms.build_database(profile)
+            try:
+                connection = db.connect(async_workers=threads)
+                inserted, seconds = measure(
+                    lambda: kernel(connection, list(issues))
+                )
+                assert inserted == total
+                assert forms.loaded_form_count(db) == total
+                connection.close()
+            finally:
+                db.close()
+            series.add(total, seconds)
+    top = max(totals)
+    gain = figure.speedup("orig", "trans", top)
+    if gain:
+        figure.notes.append(f"speedup at {top} inserts: {gain:.1f}x")
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Experiment 5: web service (Figure 15)
+# ----------------------------------------------------------------------
+
+
+def run_fig15(
+    threads_grid: Sequence[int] = (1, 2, 5, 10, 15, 20, 25),
+    iterations: int = 240,
+) -> FigureData:
+    """Figure 15: web-service traversal vs threads (240 requests)."""
+    latency = WebLatency().scaled(bench_scale())
+    figure = FigureData(
+        figure_id="fig15",
+        title=f"Web-service traversal vs threads ({latency.name}, "
+        f"{iterations} iterations)",
+        x_label="threads",
+        paper_reference="Fig. 15: ~170s -> ~20s from 1 to 25 threads "
+        "on Freebase",
+    )
+    service = moviegraph.build_service(
+        latency,
+        directors=max(1, iterations // 20),
+        actors_per_director=20,
+    )
+    try:
+        from ..web.client import WebServiceClient
+
+        original = moviegraph.collect_filmographies
+        rewritten = transformed_kernel(original)
+        probe = WebServiceClient(service, async_workers=1)
+        actor_ids = []
+        for director in range(service.entity_count):
+            identifier = f"dir{director}"
+            try:
+                actor_ids.extend(moviegraph.director_actors(probe, identifier))
+            except Exception:
+                break
+        actor_ids = actor_ids[:iterations]
+        base, base_s = measure(lambda: original(probe, list(actor_ids)))
+        probe.close()
+        orig_series = figure.new_series("orig")
+        trans_series = figure.new_series("trans")
+        for threads in threads_grid:
+            client = WebServiceClient(service, async_workers=threads)
+            try:
+                fast, fast_s = measure(lambda: rewritten(client, list(actor_ids)))
+            finally:
+                client.close()
+            assert base == fast
+            orig_series.add(threads, base_s)
+            trans_series.add(threads, fast_s)
+    finally:
+        service.shutdown()
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Table I and transformation time
+# ----------------------------------------------------------------------
+
+
+def run_table1() -> Tuple[str, List[ApplicabilityReport]]:
+    """Table I: applicability over the two benchmark applications."""
+    auction = analyze_functions(rubis.QUERY_LOOPS, "Auction")
+    bulletin = analyze_functions(rubbos.QUERY_LOOPS, "Bulletin Board")
+    return format_table_one([auction, bulletin]), [auction, bulletin]
+
+
+def run_transform_time() -> FigureData:
+    """Section VI: program transformation takes well under a second."""
+    figure = FigureData(
+        figure_id="transform-time",
+        title="Time to transform each workload application",
+        x_label="workload #",
+        paper_reference="paper reports < 1 second per program",
+    )
+    engine = TransformEngine()
+    series = figure.new_series("transform-seconds")
+    workload_sources = [
+        ("rubis", rubis.QUERY_LOOPS),
+        ("rubbos", rubbos.QUERY_LOOPS),
+        ("category", [category.max_part_size, category.subtree_part_count]),
+        ("moviegraph", [moviegraph.collect_filmographies, moviegraph.movie_years]),
+    ]
+    for index, (name, functions) in enumerate(workload_sources):
+        source = "\n\n".join(
+            textwrap.dedent(inspect.getsource(fn)) for fn in functions
+        )
+        started = time.perf_counter()
+        engine.transform_source(source)
+        elapsed = time.perf_counter() - started
+        series.add(index, elapsed)
+        figure.notes.append(f"{name}: {elapsed * 1000:.1f} ms")
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md §5)
+# ----------------------------------------------------------------------
+
+
+def run_ablation_reorder() -> Tuple[str, dict]:
+    """Statement reordering ON vs OFF: how many loops stay transformable.
+
+    This measures the paper's novelty claim — without Section IV's
+    reordering, Rule A alone loses the worklist/traversal loops.
+    """
+    kernels = (
+        rubis.QUERY_LOOPS
+        + rubbos.QUERY_LOOPS[:6]
+        + [category.max_part_size, category.subtree_part_count]
+    )
+    source = "\n\n".join(
+        textwrap.dedent(inspect.getsource(fn)) for fn in kernels
+    )
+    with_reorder = TransformEngine(reorder_enabled=True).transform_source(source)
+    without_reorder = TransformEngine(reorder_enabled=False).transform_source(source)
+    counts = {
+        "loops": with_reorder.opportunities,
+        "transformed_with_reorder": with_reorder.transformed_loops,
+        "transformed_without_reorder": without_reorder.transformed_loops,
+    }
+    text = (
+        "Ablation: statement reordering\n"
+        f"  query loops analyzed:            {counts['loops']}\n"
+        f"  transformed WITH reordering:     {counts['transformed_with_reorder']}\n"
+        f"  transformed WITHOUT reordering:  {counts['transformed_without_reorder']}\n"
+    )
+    return text, counts
+
+
+def run_ablation_server(
+    iterations: int = 100,
+    threads: int = 20,
+    profile: LatencyProfile = SYS1,
+    parts: int = 30_000,
+) -> FigureData:
+    """Disk elevator ON/OFF for the cold-cache traversal workload."""
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="ablation-server",
+        title="Server mechanisms ablation (cold category traversal)",
+        x_label="config# (0=elevator on, 1=elevator off)",
+        paper_reference="DESIGN.md §5: where the cold-cache win comes from",
+    )
+    original = category.max_part_size
+    rewritten = transformed_kernel(original)
+    orig_series = figure.new_series("orig")
+    trans_series = figure.new_series("trans")
+    for index, elevator in enumerate((True, False)):
+        db = category.build_database(profile, parts=parts, elevator=elevator)
+        try:
+            children = category.load_children(db)
+            roots = category.roots_for_iterations(iterations)
+            base, base_s = _category_run(db, original, children, roots, 1, cold=True)
+            fast, fast_s = _category_run(
+                db, rewritten, children, roots, threads, cold=True
+            )
+            assert base == fast
+            orig_series.add(index, base_s)
+            trans_series.add(index, fast_s)
+            figure.notes.append(
+                f"elevator={'on' if elevator else 'off'}: trans {fast_s:.3f}s"
+            )
+        finally:
+            db.close()
+    return figure
+
+
+def run_ablation_window(
+    total: int = 4000,
+    windows: Sequence[Optional[int]] = (None, 64, 256, 1024),
+    threads: int = DEFAULT_THREADS,
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Bounded-window fission: time vs memory cap (Discussion section)."""
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="ablation-window",
+        title=f"Bounded-window fission over {total} RUBiS iterations",
+        x_label="window (0 = unbounded)",
+        paper_reference="Discussion: limiting in-flight records caps memory",
+    )
+    db = rubis.build_database(profile)
+    try:
+        comments = rubis.comment_batch(db, total)
+        base = rubis.load_comment_authors(db.connect(async_workers=1), list(comments))
+        series = figure.new_series("trans")
+        for window in windows:
+            kernel = asyncify(rubis.load_comment_authors, window=window)
+            connection = db.connect(async_workers=threads)
+            try:
+                kernel(connection, list(comments))  # warm
+                result, seconds = measure(
+                    lambda: kernel(connection, list(comments))
+                )
+            finally:
+                connection.close()
+            assert result == base
+            series.add(window or 0, seconds)
+            figure.notes.append(
+                f"window={window or 'unbounded'}: {seconds:.3f}s, "
+                f"peak records <= {window or total}"
+            )
+    finally:
+        db.close()
+    return figure
+
+
+def run_ablation_aio(
+    total: int = 2000,
+    in_flight_grid: Sequence[int] = (1, 5, 10, 20),
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Client runtimes compared: thread-pool observer model (the paper's
+    Executor framework) vs the asyncio event loop, at matched in-flight
+    budgets.  Both run the Rule A two-loop shape over the Experiment 1
+    workload; the substrate work per query is identical, so differences
+    are pure client-coordination overhead.
+    """
+    import asyncio
+
+    from ..runtime.aio import aio_connect
+
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="ablation-aio",
+        title=f"Thread-pool vs asyncio runtime over {total} RUBiS iterations",
+        x_label="in-flight budget (threads / pool slots)",
+        paper_reference="Section II observer model; asyncio as the modern analog",
+    )
+    db = rubis.build_database(profile)
+    try:
+        comments = rubis.comment_batch(db, total)
+        base = rubis.load_comment_authors(db.connect(async_workers=1), list(comments))
+        threads_series = figure.new_series("threads")
+        aio_series = figure.new_series("asyncio")
+        kernel = transformed_kernel(rubis.load_comment_authors)
+
+        async def aio_kernel(conn, batch):
+            pending = [
+                (comment, conn.submit_query(rubis.AUTHOR_SQL, [comment[1]]))
+                for comment in batch
+            ]
+            authors = []
+            for comment, handle in pending:
+                row = await conn.fetch_result(handle)
+                authors.append((comment[0], row[0][0], row[0][1]))
+            return authors
+
+        for budget in in_flight_grid:
+            connection = db.connect(async_workers=budget)
+            try:
+                kernel(connection, list(comments))  # warm
+                result, seconds = measure(
+                    lambda: kernel(connection, list(comments))
+                )
+            finally:
+                connection.close()
+            assert result == base
+            threads_series.add(budget, seconds)
+
+            aconn = aio_connect(db, max_in_flight=budget)
+            try:
+                asyncio.run(aio_kernel(aconn, list(comments)))  # warm
+                result, seconds = measure(
+                    lambda: asyncio.run(aio_kernel(aconn, list(comments)))
+                )
+            finally:
+                aconn.close()
+            assert result == base
+            aio_series.add(budget, seconds)
+    finally:
+        db.close()
+    return figure
+
+
+def run_ablation_spill(
+    total: int = 4000,
+    caps: Sequence[Optional[int]] = (None, 64, 256, 1024),
+    threads: int = DEFAULT_THREADS,
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Disk-spilling record table: time vs resident-record cap.
+
+    The Discussion section's *other* memory mitigation: instead of
+    bounding in-flight iterations (the window ablation), keep all
+    queries in flight but materialize the cold prefix of the record
+    table to disk.  The submit/fetch kernel below is exactly the Rule A
+    output shape, with the table implementation swapped.
+    """
+    from ..runtime.records import RecordTable
+    from ..runtime.spill import SpillableRecordTable
+
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="ablation-spill",
+        title=f"Spill-to-disk record table over {total} RUBiS iterations",
+        x_label="resident cap (0 = unbounded, in-memory)",
+        paper_reference="Discussion: materialize part of the table to disk",
+    )
+    db = rubis.build_database(profile)
+    try:
+        comments = rubis.comment_batch(db, total)
+        base = rubis.load_comment_authors(db.connect(async_workers=1), list(comments))
+
+        def kernel(conn, batch, table):
+            # Rule A output shape with an injected record table.
+            for comment in batch:
+                record = table.new_record(comment=comment)
+                record.handle = conn.submit_query(rubis.AUTHOR_SQL, [comment[1]])
+                table.add(record)
+            authors = []
+            for record in table:
+                row = conn.fetch_result(record.handle)
+                comment = record.comment
+                authors.append((comment[0], row[0][0], row[0][1]))
+            table.clear()
+            return authors
+
+        series = figure.new_series("trans")
+        for cap in caps:
+            connection = db.connect(async_workers=threads)
+            try:
+                make = (
+                    RecordTable
+                    if cap is None
+                    else lambda: SpillableRecordTable(max_resident=cap)
+                )
+                kernel(connection, list(comments), make())  # warm
+                table = make()
+                result, seconds = measure(
+                    lambda: kernel(connection, list(comments), table)
+                )
+            finally:
+                connection.close()
+            assert result == base
+            series.add(cap or 0, seconds)
+            if cap is None:
+                note = f"in-memory: {seconds:.3f}s, resident = {total}"
+            else:
+                note = (
+                    f"cap={cap}: {seconds:.3f}s, peak resident "
+                    f"{table.stats.peak_resident}, spilled "
+                    f"{table.stats.spilled} records in "
+                    f"{table.stats.segments_written} segments "
+                    f"({table.stats.bytes_written / 1024:.0f} KiB)"
+                )
+            figure.notes.append(note)
+    finally:
+        db.close()
+    return figure

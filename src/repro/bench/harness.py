@@ -1,0 +1,124 @@
+"""Timing utilities and result containers for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def bench_scale() -> float:
+    """Latency scale factor from ``REPRO_BENCH_SCALE`` (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def full_mode() -> bool:
+    """True when ``REPRO_BENCH_FULL`` requests the paper-size grids."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+def measure(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once, returning (result, wall seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class Measurement:
+    label: str
+    x: float
+    seconds: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FigureSeries:
+    """One plotted line: (x, seconds) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, seconds: float) -> None:
+        self.points.append((x, seconds))
+
+    def at(self, x: float) -> Optional[float]:
+        for px, seconds in self.points:
+            if px == x:
+                return seconds
+        return None
+
+
+@dataclass
+class FigureData:
+    """All series of one figure, plus provenance notes."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    series: List[FigureSeries] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_reference: str = ""
+
+    def new_series(self, name: str) -> FigureSeries:
+        created = FigureSeries(name)
+        self.series.append(created)
+        return created
+
+    def xs(self) -> List[float]:
+        seen: List[float] = []
+        for series in self.series:
+            for x, _seconds in series.points:
+                if x not in seen:
+                    seen.append(x)
+        return sorted(seen)
+
+    def speedup(self, base: str, improved: str, x: float) -> Optional[float]:
+        """base_time / improved_time at ``x`` (None when either missing)."""
+        base_series = self._series(base)
+        improved_series = self._series(improved)
+        if base_series is None or improved_series is None:
+            return None
+        base_at = base_series.at(x)
+        improved_at = improved_series.at(x)
+        if base_at is None or improved_at is None or improved_at == 0:
+            return None
+        return base_at / improved_at
+
+    def _series(self, name: str) -> Optional[FigureSeries]:
+        for series in self.series:
+            if series.name == name:
+                return series
+        return None
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render the figure as an aligned text table."""
+        names = [series.name for series in self.series]
+        width = max(14, *(len(name) + 2 for name in names)) if names else 14
+        header = f"{self.x_label:>14} " + " ".join(
+            f"{name:>{width}}" for name in names
+        )
+        lines = [
+            f"== {self.figure_id}: {self.title} ==",
+        ]
+        if self.paper_reference:
+            lines.append(f"   (paper: {self.paper_reference})")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in self.xs():
+            cells = []
+            for series in self.series:
+                value = series.at(x)
+                cells.append(
+                    f"{value:>{width}.4f}" if value is not None else " " * width
+                )
+            x_text = f"{int(x)}" if float(x).is_integer() else f"{x:g}"
+            lines.append(f"{x_text:>14} " + " ".join(cells))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Client API: the JDBC analog the workload programs are written against.
+
+``Connection.execute_query`` is the blocking call the original programs
+use; ``submit_query``/``fetch_result`` are the non-blocking pair the
+transformed programs use.  The transformation registry in
+:mod:`repro.transform` maps one to the other.
+"""
+
+from .batching import BatchExecutor
+from .connection import Connection, PreparedQuery
+
+__all__ = ["BatchExecutor", "Connection", "PreparedQuery"]

@@ -1,0 +1,301 @@
+"""Database client connection.
+
+Latency accounting: every *blocking* call pays one full network round
+trip in the calling thread before the server result is visible — this is
+the per-iteration cost that dominates the original (untransformed)
+programs.  ``submit_query`` pays only a tiny submit overhead in the
+calling thread; the round trip is paid by one of the connection's async
+worker threads, overlapping with the application and with other
+requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Union
+
+from contextlib import contextmanager
+
+from ..db.errors import DatabaseError, TransactionStateError
+from ..db.plan import QueryResult
+from ..db.server import DatabaseServer, PreparedStatement
+from ..db.sql.ast_nodes import is_write
+from ..db.txn import Transaction
+from ..runtime.executor import AsyncExecutor
+from ..runtime.handles import QueryHandle
+
+
+@dataclass
+class ConnectionStats:
+    blocking_calls: int = 0
+    async_submits: int = 0
+    fetches: int = 0
+
+
+class PreparedQuery:
+    """Client-side prepared statement with JDBC-style 1-based binding.
+
+    Mirrors the paper's Example 2 usage::
+
+        qt = conn.prepare("select count(part_key) from part where category_id = ?")
+        qt.bind(1, category)
+        part_count = conn.execute_query(qt).scalar()
+
+    Bind state is snapshotted at submit time, so rebinding inside the
+    submit loop (the transformed programs do exactly that) is safe.
+    """
+
+    def __init__(self, connection: "Connection", prepared: PreparedStatement) -> None:
+        self._connection = connection
+        self._prepared = prepared
+        self._params: List[Any] = [None] * self._expected_params()
+
+    def _expected_params(self) -> int:
+        return getattr(self._prepared.ast, "param_count", 0)
+
+    @property
+    def sql(self) -> str:
+        return self._prepared.sql
+
+    @property
+    def server_statement(self) -> PreparedStatement:
+        return self._prepared
+
+    def bind(self, position: int, value: Any) -> "PreparedQuery":
+        """Bind the 1-based parameter ``position`` to ``value``."""
+        if position < 1 or position > len(self._params):
+            raise DatabaseError(
+                f"bind position {position} out of range 1..{len(self._params)}"
+            )
+        self._params[position - 1] = value
+        return self
+
+    def bind_all(self, values: Sequence[Any]) -> "PreparedQuery":
+        if len(values) != len(self._params):
+            raise DatabaseError(
+                f"expected {len(self._params)} values, got {len(values)}"
+            )
+        self._params = list(values)
+        return self
+
+    def snapshot_params(self) -> tuple:
+        return tuple(self._params)
+
+
+Query = Union[str, PreparedQuery]
+
+
+class Connection:
+    """A client connection to one database server.
+
+    ``async_workers`` sets the size of the client-side thread pool used
+    for asynchronous submissions — the "number of threads" knob in the
+    paper's experiments.
+    """
+
+    def __init__(self, server: DatabaseServer, async_workers: int = 10) -> None:
+        self._server = server
+        self._executor = AsyncExecutor(
+            async_workers,
+            name="client-async",
+            spawn_cost_s=server.profile.thread_spawn_s,
+        )
+        self._closed = False
+        self._txn: Optional[Transaction] = None
+        self.stats = ConnectionStats()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def async_workers(self) -> int:
+        return self._executor.workers
+
+    def set_async_workers(self, workers: int) -> None:
+        self._executor.resize(workers)
+
+    @property
+    def server(self) -> DatabaseServer:
+        return self._server
+
+    @property
+    def executor(self) -> AsyncExecutor:
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> PreparedQuery:
+        """Prepare a statement (parse/plan once; paper Example 2 `s0`)."""
+        return PreparedQuery(self, self._server.prepare(sql))
+
+    # ------------------------------------------------------------------
+    # blocking API (original programs)
+    # ------------------------------------------------------------------
+    def execute_query(self, query: Query, params: Sequence = ()) -> QueryResult:
+        """Submit and wait: the paper's ``executeQuery``.
+
+        Pays one full network round trip plus the server-side execution
+        time, in the calling thread.
+        """
+        self._ensure_open()
+        self.stats.blocking_calls += 1
+        prepared, bound = self._resolve(query, params)
+        self._charge_network()
+        return self._server.submit_prepared(prepared, bound, txn=self._txn).result()
+
+    def execute_update(self, query: Query, params: Sequence = ()) -> QueryResult:
+        """Blocking DML execution (alias kept distinct so the transform
+        registry can attach different external-effect metadata)."""
+        return self.execute_query(query, params)
+
+    # ------------------------------------------------------------------
+    # non-blocking API (transformed programs)
+    # ------------------------------------------------------------------
+    def submit_query(self, query: Query, params: Sequence = ()) -> QueryHandle:
+        """Non-blocking submit: the paper's ``submitQuery``.
+
+        Returns immediately with a handle; one async worker thread pays
+        the round trip and runs the request to completion.
+        """
+        self._ensure_open()
+        self.stats.async_submits += 1
+        txn = self._txn
+        if txn is not None:
+            # Discussion-section rule (DESIGN.md): asynchronous *reads*
+            # may overlap an open transaction — they run under its shared
+            # locks — but asynchronous *updates* are rejected outright:
+            # their failures would be observed after commit decisions.
+            probe, _ = self._resolve(query, params)
+            if is_write(probe.ast):
+                raise TransactionStateError(
+                    "asynchronous updates inside an explicit transaction "
+                    "are not supported; commit first or use blocking "
+                    "execute_update"
+                )
+        try:
+            prepared, bound = self._resolve(query, params)
+        except Exception as exc:
+            # Observer-model contract: submission problems surface at
+            # fetch_result, in iteration order, like any other failure.
+            from ..runtime.handles import failed_handle
+
+            return failed_handle(exc)
+        self._server.meter.charge("queue", self._server.profile.send_overhead_s)
+        if txn is not None:
+            txn.enter_async()
+
+        def task() -> QueryResult:
+            try:
+                self._charge_network()
+                return self._server.submit_prepared(prepared, bound, txn=txn).result()
+            finally:
+                if txn is not None:
+                    txn.exit_async()
+
+        return self._executor.submit(task, label=prepared.sql[:40])
+
+    def submit_update(self, query: Query, params: Sequence = ()) -> QueryHandle:
+        return self.submit_query(query, params)
+
+    def fetch_result(self, handle: QueryHandle) -> QueryResult:
+        """Blocking fetch: the paper's ``fetchResult``."""
+        self.stats.fetches += 1
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    # explicit transactions (Discussion-section substrate)
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.is_active
+
+    @property
+    def current_transaction(self) -> Optional[Transaction]:
+        return self._txn
+
+    def begin(self) -> Transaction:
+        """Open an explicit transaction on this connection.
+
+        Every subsequent blocking call, and every asynchronous *read*
+        submitted before commit/rollback, runs under it.
+        """
+        self._ensure_open()
+        if self.in_transaction:
+            raise TransactionStateError(
+                "a transaction is already open on this connection"
+            )
+        self._txn = self._server.begin_transaction()
+        return self._txn
+
+    def commit(self) -> None:
+        """Commit the open transaction (drains in-flight async reads)."""
+        txn = self._require_txn()
+        try:
+            txn.commit()
+        finally:
+            self._txn = None
+
+    def rollback(self) -> None:
+        """Roll back the open transaction, undoing its writes."""
+        txn = self._require_txn()
+        try:
+            txn.rollback()
+        finally:
+            self._txn = None
+
+    @contextmanager
+    def transaction(self):
+        """``with conn.transaction():`` — commit on success, roll back
+        on any exception."""
+        self.begin()
+        try:
+            yield self._txn
+        except BaseException:
+            if self.in_transaction:
+                self.rollback()
+            raise
+        else:
+            self.commit()
+
+    def _require_txn(self) -> Transaction:
+        if self._txn is None:
+            raise TransactionStateError("no transaction is open")
+        return self._txn
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(self, query: Query, params: Sequence) -> tuple:
+        if isinstance(query, PreparedQuery):
+            bound = query.snapshot_params() if not params else tuple(params)
+            return query.server_statement, bound
+        if isinstance(query, str):
+            return self._server.prepare(query), tuple(params)
+        raise DatabaseError(f"not a query: {query!r}")
+
+    def _charge_network(self) -> None:
+        rtt = self._server.profile.network_rtt_s
+        if rtt:
+            self._server.meter.charge("network", rtt)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise DatabaseError("connection is closed")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            if self.in_transaction:
+                # Mirror real drivers: an unfinished transaction rolls
+                # back on close, releasing its locks.
+                self.rollback()
+            self._closed = True
+            self._executor.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,124 @@
+"""System catalog: tables, their indexes and their IO extents."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .catalog_types import TableInfo
+from .disk import SimulatedDisk
+from .errors import CatalogError, UnknownTableError
+from .index import HashIndex, OrderedIndex
+from .storage import DEFAULT_ROWS_PER_PAGE, HeapTable
+from .types import Schema
+
+Index = Union[HashIndex, OrderedIndex]
+
+
+class Catalog:
+    """Name -> table registry with index maintenance hooks."""
+
+    def __init__(self, disk: SimulatedDisk) -> None:
+        self._disk = disk
+        self._lock = threading.Lock()
+        self._tables: Dict[str, TableInfo] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        clustered_on: Optional[str] = None,
+        if_not_exists: bool = False,
+    ) -> TableInfo:
+        with self._lock:
+            if name in self._tables:
+                if if_not_exists:
+                    return self._tables[name]
+                raise CatalogError(f"table {name!r} already exists")
+            heap = HeapTable(name, schema, rows_per_page, clustered_on)
+            info = TableInfo(name=name, heap=heap)
+            self._tables[name] = info
+        self._disk.allocate_extent(name, pages=16)
+        return info
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        with self._lock:
+            if name not in self._tables:
+                if if_exists:
+                    return
+                raise UnknownTableError(name)
+            del self._tables[name]
+
+    def create_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column: str,
+        ordered: bool = False,
+        unique: bool = False,
+    ) -> Index:
+        info = self.table(table_name)
+        with self._lock:
+            if any(index.name == index_name for index in info.indexes):
+                raise CatalogError(f"index {index_name!r} already exists")
+            if ordered:
+                index: Index = OrderedIndex(index_name, info.heap, column)
+            else:
+                index = HashIndex(index_name, info.heap, column, unique=unique)
+            index.build()
+            info.indexes.append(index)
+        self._disk.allocate_extent(index.io_name, pages=max(1, index.page_count))
+        return index
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> TableInfo:
+        with self._lock:
+            try:
+                return self._tables[name]
+            except KeyError:
+                raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tables
+
+    def table_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tables)
+
+    def indexes_on(self, table_name: str, column: Optional[str] = None) -> List[Index]:
+        info = self.table(table_name)
+        if column is None:
+            return list(info.indexes)
+        return [index for index in info.indexes if index.column == column]
+
+    # ------------------------------------------------------------------
+    # index maintenance (called by DML operators)
+    # ------------------------------------------------------------------
+    def on_insert(self, table_name: str, row_id: int, row) -> None:
+        info = self.table(table_name)
+        for index in info.indexes:
+            position = info.heap.schema.position(index.column, table_name)
+            index.add(row_id, row[position])
+        self._disk.grow_extent(table_name, info.heap.page_count)
+
+    def on_delete(self, table_name: str, row_id: int, row) -> None:
+        info = self.table(table_name)
+        for index in info.indexes:
+            position = info.heap.schema.position(index.column, table_name)
+            index.remove(row_id, row[position])
+
+    def on_update(self, table_name: str, row_id: int, old_row, new_row) -> None:
+        info = self.table(table_name)
+        for index in info.indexes:
+            position = info.heap.schema.position(index.column, table_name)
+            if old_row[position] != new_row[position]:
+                index.remove(row_id, old_row[position])
+                index.add(row_id, new_row[position])

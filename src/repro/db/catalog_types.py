@@ -1,0 +1,17 @@
+"""Shared catalog datatypes (split out to avoid import cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .storage import HeapTable
+
+
+@dataclass
+class TableInfo:
+    """Everything the engine knows about one table."""
+
+    name: str
+    heap: HeapTable
+    indexes: List = field(default_factory=list)

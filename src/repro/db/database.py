@@ -1,0 +1,173 @@
+"""The ``Database`` facade: one-stop construction and administration.
+
+Ties together disk, buffer pool, shared-scan manager, catalog and server,
+and hands out client connections.  The benchmark harness uses
+``flush_cache`` (cold runs), ``bulk_load`` (latency-free table builds)
+and ``io_report`` (per-run IO accounting for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .buffer import BufferPool
+from .catalog import Catalog
+from .disk import SimulatedDisk
+from .latency import INSTANT, LatencyMeter, LatencyProfile
+from .scans import SharedScanManager
+from .server import DatabaseServer
+from .storage import DEFAULT_ROWS_PER_PAGE
+from .types import Schema, schema_of
+
+
+class Database:
+    """An embedded simulated database instance."""
+
+    def __init__(
+        self,
+        profile: LatencyProfile = INSTANT,
+        elevator: bool = True,
+        shared_scans: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.meter = LatencyMeter()
+        self.disk = SimulatedDisk(profile, self.meter, elevator=elevator)
+        self.buffer = BufferPool(profile.buffer_pool_pages, self.disk)
+        self.scans = SharedScanManager(enabled=shared_scans)
+        self.catalog = Catalog(self.disk)
+        self.server = DatabaseServer(
+            self.catalog, self.buffer, self.scans, profile, self.meter
+        )
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        *columns: Tuple[str, str],
+        not_null: Optional[Sequence[str]] = None,
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        clustered_on: Optional[str] = None,
+    ) -> None:
+        """Create a table: ``db.create_table("part", ("id", "int"), ...)``."""
+        schema = schema_of(*columns, not_null=not_null)
+        self.catalog.create_table(
+            name, schema, rows_per_page=rows_per_page, clustered_on=clustered_on
+        )
+        self.server.invalidate_plans()
+
+    def create_index(
+        self,
+        index_name: str,
+        table: str,
+        column: str,
+        ordered: bool = False,
+        unique: bool = False,
+    ) -> None:
+        self.catalog.create_index(
+            index_name, table, column, ordered=ordered, unique=unique
+        )
+        self.server.invalidate_plans()
+
+    def bulk_load(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Load rows without charging any simulated latency.
+
+        Used by data generators: the paper's tables pre-exist; loading
+        them is not part of any measured experiment.
+        """
+        info = self.catalog.table(table)
+        count = 0
+        with info.heap.lock.writing():
+            for values in rows:
+                row = info.heap.schema.coerce_row(values)
+                row_id = info.heap.insert(row)
+                for index in info.indexes:
+                    position = info.heap.schema.position(index.column, table)
+                    index.add(row_id, row[position])
+                count += 1
+        self.disk.grow_extent(table, info.heap.page_count)
+        return count
+
+    # ------------------------------------------------------------------
+    # cache control (warm / cold experiments)
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> None:
+        """Empty the buffer pool: the next run behaves cold."""
+        self.buffer.clear()
+
+    def warm_table(self, table: str) -> None:
+        """Mark all pages of ``table`` resident (warm-cache setup)."""
+        info = self.catalog.table(table)
+        self.buffer.warm(table, info.heap.page_count)
+        for index in info.indexes:
+            self.buffer.warm(index.io_name, index.page_count)
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def connect(self, async_workers: int = 10):
+        """Open a client connection (imported lazily to avoid a cycle)."""
+        from ..client.connection import Connection
+
+        return Connection(self.server, async_workers=async_workers)
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def explain(self, sql: str) -> str:
+        """Describe how a SELECT/UPDATE/DELETE would be executed.
+
+        Returns the chosen access path name (``SeqScanOp``,
+        ``HashEqOp``, ``ClusteredEqOp``, ``OrderedRangeOp``) — the
+        cost-relevant planning decision; useful when tuning workload
+        schemas for the benchmarks.
+        """
+        prepared = self.server.prepare(sql)
+        access = getattr(prepared.plan, "access_path", None)
+        if access is None:
+            access = getattr(prepared.plan, "_access", None)
+            access = type(access).__name__ if access is not None else "n/a"
+        return f"{type(prepared.plan).__name__}: {access}"
+
+    def reset_stats(self) -> None:
+        self.meter.reset()
+        self.disk.reset_stats()
+        self.buffer.reset_stats()
+        self.scans.reset_stats()
+
+    def io_report(self) -> dict:
+        """Aggregate IO/latency counters for benchmark reporting."""
+        return {
+            "latency_totals_s": self.meter.totals(),
+            "buffer": {
+                "hits": self.buffer.stats.hits,
+                "misses": self.buffer.stats.misses,
+                "hit_ratio": self.buffer.stats.hit_ratio,
+            },
+            "disk": {
+                "reads": self.disk.stats.reads,
+                "sequential": self.disk.stats.sequential_reads,
+                "random": self.disk.stats.random_reads,
+                "max_queue_depth": self.disk.stats.max_queue_depth,
+            },
+            "scans": {
+                "led": self.scans.stats.led,
+                "shared": self.scans.stats.shared,
+                "solo": self.scans.stats.solo,
+            },
+            "server": {
+                "executed": self.server.stats.statements_executed,
+                "writes": self.server.stats.writes_executed,
+                "peak_concurrency": self.server.stats.peak_concurrency,
+            },
+        }
+
+    def close(self) -> None:
+        self.server.shutdown()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,12 @@
+"""Query planning and execution.
+
+The planner turns a parsed statement into a small operator tree; the
+executor runs it against the catalog, charging simulated CPU and IO
+costs through the execution context.
+"""
+
+from .context import ExecutionContext
+from .planner import Planner
+from .result import QueryResult
+
+__all__ = ["ExecutionContext", "Planner", "QueryResult"]

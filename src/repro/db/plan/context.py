@@ -1,0 +1,70 @@
+"""Execution context: catalog access plus simulated cost charging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..buffer import BufferPool
+from ..catalog import Catalog
+from ..latency import LatencyMeter, LatencyProfile
+from ..scans import SharedScanManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..txn import Transaction
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs to run one statement.
+
+    One context is created per statement execution; ``params`` holds the
+    positional bind values.  ``charge_cpu`` *accumulates* CPU costs and
+    the server flushes them in a single sleep per statement — per-
+    operator sleeps would each pay the OS timer slack and distort the
+    simulated scale.
+    """
+
+    catalog: Catalog
+    buffer: BufferPool
+    scans: SharedScanManager
+    profile: LatencyProfile
+    meter: LatencyMeter
+    params: Sequence = ()
+    #: Explicit transaction the statement runs under, or None for
+    #: autocommit.  Write operators record undo entries through the
+    #: ``record_*`` helpers below.
+    txn: Optional["Transaction"] = None
+    _cpu_accum_s: float = 0.0
+
+    def charge_cpu(self, rows: int = 0, fixed: bool = False) -> None:
+        cost = rows * self.profile.cpu_per_row_s
+        if fixed:
+            cost += self.profile.cpu_fixed_s
+        self._cpu_accum_s += cost
+
+    def flush_cpu(self) -> None:
+        """Sleep once for all accumulated CPU cost (server calls this
+        after plan execution)."""
+        if self._cpu_accum_s > 0:
+            self.meter.charge("cpu", self._cpu_accum_s)
+            self._cpu_accum_s = 0.0
+
+    def touch_page(self, io_name: str, page_no: int) -> bool:
+        """Access one page through the buffer pool; True on hit."""
+        return self.buffer.access(io_name, page_no)
+
+    # ------------------------------------------------------------------
+    # transactional undo recording (no-ops under autocommit)
+    # ------------------------------------------------------------------
+    def record_insert(self, table: str, row_id: int, row) -> None:
+        if self.txn is not None:
+            self.txn.record_insert(table, row_id, row)
+
+    def record_update(self, table: str, row_id: int, old_row, new_row) -> None:
+        if self.txn is not None:
+            self.txn.record_update(table, row_id, old_row, new_row)
+
+    def record_delete(self, table: str, row_id: int, row) -> None:
+        if self.txn is not None:
+            self.txn.record_delete(table, row_id, row)

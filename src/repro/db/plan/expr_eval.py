@@ -1,0 +1,156 @@
+"""Row-at-a-time expression evaluation with SQL NULL semantics.
+
+Comparisons involving NULL yield None (unknown); logical operators use
+three-valued logic; a WHERE clause accepts a row only when the predicate
+is strictly True.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..errors import PlanError, UnknownColumnError
+from ..sql.ast_nodes import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    LogicalOp,
+    NotOp,
+    Param,
+    Star,
+)
+from ..types import Row, Schema
+
+
+class RowEvaluator:
+    """Evaluates expressions against rows of one schema."""
+
+    def __init__(self, schema: Schema, table: str, params: Sequence) -> None:
+        self._schema = schema
+        self._table = table
+        self._params = params
+
+    def evaluate(self, expr: Expr, row: Row) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Param):
+            return self._params[expr.index]
+        if isinstance(expr, ColumnRef):
+            return row[self._schema.position(expr.name, self._table)]
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr, row)
+        if isinstance(expr, LogicalOp):
+            return self._logical(expr, row)
+        if isinstance(expr, NotOp):
+            value = self.evaluate(expr.operand, row)
+            return None if value is None else not _truthy(value)
+        if isinstance(expr, IsNull):
+            is_null = self.evaluate(expr.operand, row) is None
+            return (not is_null) if expr.negated else is_null
+        if isinstance(expr, InList):
+            return self._in_list(expr, row)
+        if isinstance(expr, Between):
+            return self._between(expr, row)
+        if isinstance(expr, Aggregate):
+            raise PlanError("aggregate used in a row context")
+        if isinstance(expr, Star):
+            raise PlanError("'*' used in a scalar context")
+        raise PlanError(f"cannot evaluate expression: {expr!r}")
+
+    def matches(self, where: Optional[Expr], row: Row) -> bool:
+        """WHERE acceptance: NULL (unknown) rejects the row."""
+        if where is None:
+            return True
+        return self.evaluate(where, row) is True
+
+    # ------------------------------------------------------------------
+    def _binary(self, expr: BinaryOp, row: Row) -> Any:
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL engines typically error; NULL keeps
+                # generated workloads total, and tests pin this choice.
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) and result == int(result):
+                return int(result)
+            return result
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        raise PlanError(f"unknown operator: {op!r}")
+
+    def _logical(self, expr: LogicalOp, row: Row) -> Any:
+        left = self.evaluate(expr.left, row)
+        if expr.op == "and":
+            if left is False:
+                return False
+            right = self.evaluate(expr.right, row)
+            if left is None:
+                return None if right is not False else False
+            return right if not isinstance(right, bool) else (left is True and right)
+        if expr.op == "or":
+            if left is True:
+                return True
+            right = self.evaluate(expr.right, row)
+            if left is None:
+                return None if right is not True else True
+            return right
+        raise PlanError(f"unknown logical operator: {expr.op!r}")
+
+    def _in_list(self, expr: InList, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item, row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if expr.negated else True
+        if saw_null:
+            return None
+        return True if expr.negated else False
+
+    def _between(self, expr: Between, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        low = self.evaluate(expr.low, row)
+        high = self.evaluate(expr.high, row)
+        if value is None or low is None or high is None:
+            return None
+        inside = low <= value <= high
+        return (not inside) if expr.negated else inside
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    return bool(value)

@@ -1,0 +1,376 @@
+"""Physical operators.
+
+Access paths (sequential scan, hash-index equality, clustered-range,
+ordered-index range) produce ``(row_id, row)`` lists; the relational
+operators (filter, project, aggregate, sort, limit) work on materialized
+lists — the engine targets correctness and cost *shape*, not raw speed.
+
+Cost charging:
+
+* ``SeqScanOp`` touches every heap page, through the shared-scan manager
+  so concurrent identical scans pay once.
+* Index paths touch the probed index page(s) plus the distinct heap
+  pages of matching rows.
+* Every operator charges per-row CPU in one batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..catalog_types import TableInfo
+from ..errors import PlanError
+from ..index import HashIndex, OrderedIndex
+from ..sql.ast_nodes import (
+    Aggregate,
+    ColumnRef,
+    Expr,
+    OrderItem,
+    SelectItem,
+    Star,
+)
+from ..storage import OrderKey
+from ..types import Row
+from .context import ExecutionContext
+from .expr_eval import RowEvaluator
+
+RowIdRow = Tuple[int, Row]
+
+
+# ----------------------------------------------------------------------
+# access paths
+# ----------------------------------------------------------------------
+
+
+class SeqScanOp:
+    """Full table scan: all pages, shared with concurrent scanners."""
+
+    def __init__(self, info: TableInfo) -> None:
+        self._info = info
+
+    def run(self, ctx: ExecutionContext) -> List[RowIdRow]:
+        heap = self._info.heap
+        name = self._info.name
+
+        def do_io() -> None:
+            for page_no in range(heap.page_count):
+                ctx.touch_page(name, page_no)
+
+        ctx.scans.run(name, do_io)
+        rows = list(heap.iter_rows())
+        ctx.charge_cpu(rows=len(rows))
+        return rows
+
+
+class HashEqOp:
+    """Hash-index equality probe followed by heap fetches."""
+
+    def __init__(self, info: TableInfo, index: HashIndex, value_expr: Expr) -> None:
+        self._info = info
+        self._index = index
+        self._value_expr = value_expr
+
+    def run(self, ctx: ExecutionContext) -> List[RowIdRow]:
+        evaluator = RowEvaluator(self._info.heap.schema, self._info.name, ctx.params)
+        value = evaluator.evaluate(self._value_expr, ())
+        ctx.touch_page(self._index.io_name, self._index.page_for(value))
+        row_ids = self._index.lookup(value)
+        return _fetch_rows(ctx, self._info, row_ids)
+
+
+class ClusteredEqOp:
+    """Equality on the clustering column: one contiguous page run."""
+
+    def __init__(self, info: TableInfo, value_expr: Expr) -> None:
+        self._info = info
+        self._value_expr = value_expr
+
+    def run(self, ctx: ExecutionContext) -> List[RowIdRow]:
+        heap = self._info.heap
+        evaluator = RowEvaluator(heap.schema, self._info.name, ctx.params)
+        value = evaluator.evaluate(self._value_expr, ())
+        low, high = heap.cluster_range(value)
+        results: List[RowIdRow] = []
+        pages_touched = set()
+        for row_id in range(low, high):
+            row = heap.fetch(row_id)
+            if row is None:
+                continue
+            page_no = heap.page_of(row_id)
+            if page_no not in pages_touched:
+                pages_touched.add(page_no)
+                ctx.touch_page(self._info.name, page_no)
+            results.append((row_id, row))
+        ctx.charge_cpu(rows=len(results))
+        return results
+
+
+class OrderedRangeOp:
+    """Ordered-index range scan followed by heap fetches."""
+
+    def __init__(
+        self,
+        info: TableInfo,
+        index: OrderedIndex,
+        low: Optional[Expr],
+        high: Optional[Expr],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> None:
+        self._info = info
+        self._index = index
+        self._low = low
+        self._high = high
+        self._low_inclusive = low_inclusive
+        self._high_inclusive = high_inclusive
+
+    def run(self, ctx: ExecutionContext) -> List[RowIdRow]:
+        evaluator = RowEvaluator(self._info.heap.schema, self._info.name, ctx.params)
+        low = evaluator.evaluate(self._low, ()) if self._low is not None else None
+        high = evaluator.evaluate(self._high, ()) if self._high is not None else None
+        probe = low if low is not None else high
+        if probe is not None:
+            ctx.touch_page(self._index.io_name, self._index.page_for(probe))
+        row_ids = self._index.range(
+            low, high, self._low_inclusive, self._high_inclusive
+        )
+        return _fetch_rows(ctx, self._info, row_ids)
+
+
+def _fetch_rows(
+    ctx: ExecutionContext, info: TableInfo, row_ids: Sequence[int]
+) -> List[RowIdRow]:
+    heap = info.heap
+    results: List[RowIdRow] = []
+    pages_touched = set()
+    for row_id in row_ids:
+        row = heap.fetch(row_id)
+        if row is None:
+            continue
+        page_no = heap.page_of(row_id)
+        if page_no not in pages_touched:
+            pages_touched.add(page_no)
+            ctx.touch_page(info.name, page_no)
+        results.append((row_id, row))
+    ctx.charge_cpu(rows=len(results))
+    return results
+
+
+# ----------------------------------------------------------------------
+# relational operators
+# ----------------------------------------------------------------------
+
+
+def apply_filter(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    rows: List[RowIdRow],
+    where: Optional[Expr],
+) -> List[RowIdRow]:
+    if where is None:
+        return rows
+    evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+    kept = [(row_id, row) for row_id, row in rows if evaluator.matches(where, row)]
+    ctx.charge_cpu(rows=len(rows))
+    return kept
+
+
+def apply_order(
+    info: TableInfo, rows: List[RowIdRow], order_by: Sequence[OrderItem]
+) -> List[RowIdRow]:
+    if not order_by:
+        return rows
+    schema = info.heap.schema
+    positions = [
+        (schema.position(item.column, info.name), item.descending)
+        for item in order_by
+    ]
+    # Stable multi-key sort: apply keys right-to-left.
+    ordered = list(rows)
+    for position, descending in reversed(positions):
+        ordered.sort(key=lambda pair: OrderKey(pair[1][position]), reverse=descending)
+    return ordered
+
+
+def apply_limit(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    rows: List[RowIdRow],
+    limit: Optional[Expr],
+) -> List[RowIdRow]:
+    if limit is None:
+        return rows
+    evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+    count = evaluator.evaluate(limit, ())
+    if not isinstance(count, int) or count < 0:
+        raise PlanError(f"LIMIT must be a non-negative integer, got {count!r}")
+    return rows[:count]
+
+
+def project(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    rows: List[RowIdRow],
+    items: Sequence[SelectItem],
+    distinct: bool,
+) -> Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]:
+    schema = info.heap.schema
+    if len(items) == 1 and isinstance(items[0].expr, Star):
+        columns = schema.names()
+        output = [row for _row_id, row in rows]
+    else:
+        evaluator = RowEvaluator(schema, info.name, ctx.params)
+        columns = tuple(_item_name(item, position) for position, item in enumerate(items))
+        output = [
+            tuple(evaluator.evaluate(item.expr, row) for item in items)
+            for _row_id, row in rows
+        ]
+        ctx.charge_cpu(rows=len(rows))
+    if distinct:
+        seen = set()
+        unique: List[Tuple[Any, ...]] = []
+        for row in output:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        output = unique
+    return columns, output
+
+
+def aggregate(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    rows: List[RowIdRow],
+    items: Sequence[SelectItem],
+) -> Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]:
+    """Evaluate an all-aggregate select list (no GROUP BY in the subset)."""
+    evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+    columns = tuple(_item_name(item, position) for position, item in enumerate(items))
+    values: List[Any] = []
+    for item in items:
+        expr = item.expr
+        if not isinstance(expr, Aggregate):
+            raise PlanError(
+                "mixing aggregates and plain columns requires GROUP BY, "
+                "which this subset does not support"
+            )
+        values.append(_run_aggregate(evaluator, expr, rows))
+    ctx.charge_cpu(rows=len(rows) * max(1, len(items)))
+    return columns, [tuple(values)]
+
+
+def aggregate_grouped(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    rows: List[RowIdRow],
+    items: Sequence[SelectItem],
+    group_by: Sequence[str],
+) -> Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]:
+    """GROUP BY evaluation: one output row per distinct key tuple.
+
+    Plain (non-aggregate) select items must reference grouping columns.
+    Groups appear in first-occurrence order (stable; ORDER BY reorders
+    explicitly when asked).
+    """
+    schema = info.heap.schema
+    evaluator = RowEvaluator(schema, info.name, ctx.params)
+    key_positions = [schema.position(name, info.name) for name in group_by]
+    for item in items:
+        expr = item.expr
+        if isinstance(expr, Aggregate):
+            continue
+        if isinstance(expr, ColumnRef) and expr.name in group_by:
+            continue
+        raise PlanError(
+            "non-aggregate select items must be GROUP BY columns "
+            f"(offending item: {getattr(expr, 'name', expr)!r})"
+        )
+    groups: "dict[tuple, List[RowIdRow]]" = {}
+    order: List[tuple] = []
+    for row_id, row in rows:
+        key = tuple(row[position] for position in key_positions)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((row_id, row))
+    columns = tuple(_item_name(item, position) for position, item in enumerate(items))
+    output: List[Tuple[Any, ...]] = []
+    for key in order:
+        members = groups[key]
+        values: List[Any] = []
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, Aggregate):
+                values.append(_run_aggregate(evaluator, expr, members))
+            else:
+                assert isinstance(expr, ColumnRef)
+                values.append(key[group_by.index(expr.name)])
+        output.append(tuple(values))
+    ctx.charge_cpu(rows=len(rows) * max(1, len(items)))
+    return columns, output
+
+
+def order_output_rows(
+    columns: Tuple[str, ...],
+    rows: List[Tuple[Any, ...]],
+    order_by: Sequence[OrderItem],
+) -> List[Tuple[Any, ...]]:
+    """ORDER BY over *output* rows (grouped results), by column name."""
+    if not order_by:
+        return rows
+    ordered = list(rows)
+    for item in reversed(order_by):
+        try:
+            position = columns.index(item.column)
+        except ValueError:
+            raise PlanError(
+                f"ORDER BY column {item.column!r} is not in the output"
+            ) from None
+        ordered.sort(
+            key=lambda row: OrderKey(row[position]), reverse=item.descending
+        )
+    return ordered
+
+
+def _run_aggregate(
+    evaluator: RowEvaluator, expr: Aggregate, rows: List[RowIdRow]
+) -> Any:
+    if isinstance(expr.argument, Star):
+        return len(rows)
+    observed = [
+        value
+        for value in (
+            evaluator.evaluate(expr.argument, row) for _row_id, row in rows
+        )
+        if value is not None
+    ]
+    if expr.distinct:
+        observed = list(dict.fromkeys(observed))
+    if expr.func == "count":
+        return len(observed)
+    if not observed:
+        return None
+    if expr.func == "sum":
+        return sum(observed)
+    if expr.func == "min":
+        return min(observed)
+    if expr.func == "max":
+        return max(observed)
+    if expr.func == "avg":
+        return sum(observed) / len(observed)
+    raise PlanError(f"unknown aggregate: {expr.func!r}")
+
+
+def _item_name(item: SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Aggregate):
+        if isinstance(expr.argument, Star):
+            return f"{expr.func}(*)"
+        if isinstance(expr.argument, ColumnRef):
+            return f"{expr.func}({expr.argument.name})"
+        return expr.func
+    return f"col{position}"

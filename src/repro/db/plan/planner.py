@@ -1,0 +1,371 @@
+"""The planner: statement AST -> executable plan.
+
+Access-path selection, in priority order for an equality predicate on a
+WHERE conjunct:
+
+1. clustering column of the table  -> contiguous heap range
+2. hash index on the column        -> bucket probe + heap fetch
+3. ordered index (range conjuncts) -> index range + heap fetch
+4. otherwise                       -> shared sequential scan
+
+The non-matched conjuncts (and, harmlessly, the matched one) are
+re-applied as a residual filter, so planning is purely a cost decision —
+never a correctness one.  Property tests exploit that: every query must
+return identical rows with indexes present or absent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from ..catalog import Catalog
+from ..catalog_types import TableInfo
+from ..errors import ParamCountError, PlanError
+from ..index import HashIndex, OrderedIndex
+from ..sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    Expr,
+    InsertStmt,
+    Literal,
+    LogicalOp,
+    Param,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+from ..types import Column, ColumnType, Schema
+from .context import ExecutionContext
+from .expr_eval import RowEvaluator
+from .operators import (
+    ClusteredEqOp,
+    HashEqOp,
+    OrderedRangeOp,
+    SeqScanOp,
+    aggregate,
+    aggregate_grouped,
+    apply_filter,
+    apply_limit,
+    apply_order,
+    order_output_rows,
+    project,
+)
+
+
+def _limit_output(ctx: ExecutionContext, info, rows, limit):
+    """LIMIT over already-projected output rows."""
+    if limit is None:
+        return rows
+    evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+    count = evaluator.evaluate(limit, ())
+    if not isinstance(count, int) or count < 0:
+        raise PlanError(f"LIMIT must be a non-negative integer, got {count!r}")
+    return rows[:count]
+from .result import QueryResult
+
+
+class Planner:
+    """Stateless planner over one catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def plan(self, statement: Statement):
+        if isinstance(statement, SelectStmt):
+            return SelectPlan(self._catalog, statement)
+        if isinstance(statement, InsertStmt):
+            return InsertPlan(self._catalog, statement)
+        if isinstance(statement, UpdateStmt):
+            return UpdatePlan(self._catalog, statement)
+        if isinstance(statement, DeleteStmt):
+            return DeletePlan(self._catalog, statement)
+        if isinstance(statement, CreateTableStmt):
+            return CreateTablePlan(self._catalog, statement)
+        if isinstance(statement, CreateIndexStmt):
+            return CreateIndexPlan(self._catalog, statement)
+        raise PlanError(f"cannot plan statement: {statement!r}")
+
+
+# ----------------------------------------------------------------------
+# helpers shared by SELECT/UPDATE/DELETE
+# ----------------------------------------------------------------------
+
+
+def _conjuncts(where: Optional[Expr]) -> List[Expr]:
+    """Flatten top-level AND into a conjunct list."""
+    if where is None:
+        return []
+    if isinstance(where, LogicalOp) and where.op == "and":
+        return _conjuncts(where.left) + _conjuncts(where.right)
+    return [where]
+
+
+def _constant_side(expr: Expr) -> bool:
+    """True when ``expr`` contains no column references."""
+    if isinstance(expr, (Literal, Param)):
+        return True
+    if isinstance(expr, BinaryOp):
+        return _constant_side(expr.left) and _constant_side(expr.right)
+    return False
+
+
+def _equality_on_column(conjunct: Expr) -> Optional[Tuple[str, Expr]]:
+    """Match ``col = const`` or ``const = col``; return (column, value)."""
+    if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and _constant_side(right):
+        return left.name, right
+    if isinstance(right, ColumnRef) and _constant_side(left):
+        return right.name, left
+    return None
+
+
+def _range_on_column(conjunct: Expr) -> Optional[Tuple[str, Optional[Expr], Optional[Expr], bool, bool]]:
+    """Match range conjuncts; return (col, low, high, low_incl, high_incl)."""
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        if isinstance(conjunct.operand, ColumnRef):
+            if _constant_side(conjunct.low) and _constant_side(conjunct.high):
+                return conjunct.operand.name, conjunct.low, conjunct.high, True, True
+        return None
+    if not isinstance(conjunct, BinaryOp) or conjunct.op not in ("<", "<=", ">", ">="):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and _constant_side(right):
+        column, value, op = left.name, right, conjunct.op
+    elif isinstance(right, ColumnRef) and _constant_side(left):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        column, value, op = right.name, left, flipped[conjunct.op]
+    else:
+        return None
+    if op == "<":
+        return column, None, value, True, False
+    if op == "<=":
+        return column, None, value, True, True
+    if op == ">":
+        return column, value, None, False, True
+    return column, value, None, True, True
+
+
+def _choose_access_path(info: TableInfo, indexes, where: Optional[Expr]):
+    conjuncts = _conjuncts(where)
+    for conjunct in conjuncts:
+        match = _equality_on_column(conjunct)
+        if match is None:
+            continue
+        column, value = match
+        if info.heap.clustered_on == column:
+            return ClusteredEqOp(info, value)
+        for index in indexes:
+            if index.column == column and isinstance(index, HashIndex):
+                return HashEqOp(info, index, value)
+        for index in indexes:
+            if index.column == column and isinstance(index, OrderedIndex):
+                return OrderedRangeOp(info, index, value, value)
+    for conjunct in conjuncts:
+        match = _range_on_column(conjunct)
+        if match is None:
+            continue
+        column, low, high, low_inclusive, high_inclusive = match
+        for index in indexes:
+            if index.column == column and isinstance(index, OrderedIndex):
+                return OrderedRangeOp(info, index, low, high, low_inclusive, high_inclusive)
+    return SeqScanOp(info)
+
+
+def _check_params(expected: int, params: Sequence) -> None:
+    if expected != len(params):
+        raise ParamCountError(expected, len(params))
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+
+
+class SelectPlan:
+    def __init__(self, catalog: Catalog, stmt: SelectStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+        self._info = catalog.table(stmt.table)
+        indexes = catalog.indexes_on(stmt.table)
+        self._access = _choose_access_path(self._info, indexes, stmt.where)
+
+    @property
+    def access_path(self) -> str:
+        """Name of the chosen access path (asserted by planner tests)."""
+        return type(self._access).__name__
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        _check_params(self._stmt.param_count, ctx.params)
+        ctx.charge_cpu(fixed=True)
+        stmt = self._stmt
+        info = self._info
+        with info.heap.lock.reading():
+            rows = self._access.run(ctx)
+            rows = apply_filter(ctx, info, rows, stmt.where)
+            if stmt.group_by:
+                columns, output = aggregate_grouped(
+                    ctx, info, rows, stmt.items, stmt.group_by
+                )
+                output = order_output_rows(columns, output, stmt.order_by)
+                output = _limit_output(ctx, info, output, stmt.limit)
+                return QueryResult(columns=columns, rows=output)
+            if stmt.is_aggregate:
+                columns, output = aggregate(ctx, info, rows, stmt.items)
+                return QueryResult(columns=columns, rows=output)
+            rows = apply_order(info, rows, stmt.order_by)
+            rows = apply_limit(ctx, info, rows, stmt.limit)
+            columns, output = project(ctx, info, rows, stmt.items, stmt.distinct)
+        return QueryResult(columns=columns, rows=output)
+
+
+class InsertPlan:
+    def __init__(self, catalog: Catalog, stmt: InsertStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+        self._info = catalog.table(stmt.table)
+        schema = self._info.heap.schema
+        if stmt.columns:
+            self._positions = schema.project_positions(stmt.columns, stmt.table)
+            if len(stmt.values) != len(stmt.columns):
+                raise PlanError("INSERT column/value count mismatch")
+        else:
+            self._positions = tuple(range(len(schema)))
+            if len(stmt.values) != len(schema):
+                raise PlanError("INSERT value count does not match schema")
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        _check_params(self._stmt.param_count, ctx.params)
+        ctx.charge_cpu(fixed=True)
+        info = self._info
+        schema = info.heap.schema
+        evaluator = RowEvaluator(schema, info.name, ctx.params)
+        values: List = [None] * len(schema)
+        for position, expr in zip(self._positions, self._stmt.values):
+            values[position] = evaluator.evaluate(expr, ())
+        if ctx.txn is not None and info.heap.is_clustered:
+            from ..errors import TransactionStateError
+
+            raise TransactionStateError(
+                f"transactional INSERT into clustered table {info.name!r} is "
+                "not supported: clustered inserts shift row ids, which the "
+                "logical undo log cannot reverse"
+            )
+        with info.heap.lock.writing():
+            row = schema.coerce_row(values)
+            row_id = info.heap.insert(row)
+            self._catalog.on_insert(info.name, row_id, row)
+            ctx.record_insert(info.name, row_id, row)
+            page_no = info.heap.page_of(row_id)
+            # Charge one sequential page write when a page fills up; the
+            # buffer absorbs the rest (write-back cache).
+            if row_id % info.heap.rows_per_page == 0:
+                ctx.meter.charge("disk", ctx.profile.disk_sequential_s)
+            ctx.buffer.install(info.name, page_no)
+        return QueryResult(rowcount=1)
+
+
+class UpdatePlan:
+    def __init__(self, catalog: Catalog, stmt: UpdateStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+        self._info = catalog.table(stmt.table)
+        indexes = catalog.indexes_on(stmt.table)
+        self._access = _choose_access_path(self._info, indexes, stmt.where)
+        schema = self._info.heap.schema
+        self._targets = [
+            (schema.position(column, stmt.table), expr)
+            for column, expr in stmt.assignments
+        ]
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        _check_params(self._stmt.param_count, ctx.params)
+        ctx.charge_cpu(fixed=True)
+        info = self._info
+        evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+        with info.heap.lock.writing():
+            rows = self._access.run(ctx)
+            rows = apply_filter(ctx, info, rows, self._stmt.where)
+            for row_id, row in rows:
+                new_row = list(row)
+                for position, expr in self._targets:
+                    new_row[position] = evaluator.evaluate(expr, row)
+                coerced = info.heap.schema.coerce_row(new_row)
+                info.heap.update(row_id, coerced)
+                self._catalog.on_update(info.name, row_id, row, coerced)
+                ctx.record_update(info.name, row_id, row, coerced)
+            ctx.charge_cpu(rows=len(rows))
+        return QueryResult(rowcount=len(rows))
+
+
+class DeletePlan:
+    def __init__(self, catalog: Catalog, stmt: DeleteStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+        self._info = catalog.table(stmt.table)
+        indexes = catalog.indexes_on(stmt.table)
+        self._access = _choose_access_path(self._info, indexes, stmt.where)
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        _check_params(self._stmt.param_count, ctx.params)
+        ctx.charge_cpu(fixed=True)
+        info = self._info
+        with info.heap.lock.writing():
+            rows = self._access.run(ctx)
+            rows = apply_filter(ctx, info, rows, self._stmt.where)
+            for row_id, row in rows:
+                info.heap.delete(row_id)
+                self._catalog.on_delete(info.name, row_id, row)
+                ctx.record_delete(info.name, row_id, row)
+            ctx.charge_cpu(rows=len(rows))
+        return QueryResult(rowcount=len(rows))
+
+
+class CreateTablePlan:
+    def __init__(self, catalog: Catalog, stmt: CreateTableStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        columns = [
+            Column(
+                definition.name,
+                ColumnType.from_name(definition.type_name),
+                nullable=not definition.not_null,
+            )
+            for definition in self._stmt.columns
+        ]
+        self._catalog.create_table(
+            self._stmt.table,
+            Schema(columns),
+            if_not_exists=self._stmt.if_not_exists,
+        )
+        return QueryResult(rowcount=0)
+
+
+class CreateIndexPlan:
+    def __init__(self, catalog: Catalog, stmt: CreateIndexStmt) -> None:
+        self._catalog = catalog
+        self._stmt = stmt
+
+    def execute(self, ctx: ExecutionContext) -> QueryResult:
+        stmt = self._stmt
+        if stmt.clustered:
+            raise PlanError(
+                "clustering is declared at CREATE TABLE time via the "
+                "Database.create_table(clustered_on=...) API"
+            )
+        self._catalog.create_index(
+            stmt.index,
+            stmt.table,
+            stmt.column,
+            ordered=stmt.ordered,
+            unique=stmt.unique,
+        )
+        return QueryResult(rowcount=0)

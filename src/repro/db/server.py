@@ -1,0 +1,240 @@
+"""The database server: statement cache, prepared statements, worker pool.
+
+Every statement execution — synchronous or asynchronous from the
+client's perspective — runs on one of ``server_workers`` pool threads.
+Submissions beyond the pool size queue up, which is what produces the
+thread-count plateau in the paper's Figures 9, 10, 13 and 15: client
+threads beyond the server's effective parallelism stop helping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from .buffer import BufferPool
+from .catalog import Catalog
+from .errors import ServerShutdownError, StatementHandleError
+from .latency import LatencyMeter, LatencyProfile
+from .plan import ExecutionContext, Planner, QueryResult
+from .scans import SharedScanManager
+from .sql import parse
+from .sql.ast_nodes import CreateIndexStmt, CreateTableStmt, Statement, is_write
+from .txn import Transaction, TransactionManager
+
+
+@dataclass
+class ServerStats:
+    statements_executed: int = 0
+    writes_executed: int = 0
+    peak_concurrency: int = 0
+    statements_prepared: int = 0
+
+
+class PreparedStatement:
+    """Server-side prepared statement (parse + plan done once)."""
+
+    __slots__ = ("statement_id", "sql", "ast", "plan", "catalog_version")
+
+    def __init__(self, statement_id: int, sql: str, ast: Statement, plan, version: int) -> None:
+        self.statement_id = statement_id
+        self.sql = sql
+        self.ast = ast
+        self.plan = plan
+        self.catalog_version = version
+
+
+class DatabaseServer:
+    """Executes SQL against one catalog with simulated costs."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        buffer: BufferPool,
+        scans: SharedScanManager,
+        profile: LatencyProfile,
+        meter: LatencyMeter,
+    ) -> None:
+        self._catalog = catalog
+        self._buffer = buffer
+        self._scans = scans
+        self._profile = profile
+        self._meter = meter
+        self._planner = Planner(catalog)
+        self._pool = ThreadPoolExecutor(
+            max_workers=profile.server_workers,
+            thread_name_prefix=f"dbworker-{profile.name}",
+        )
+        self._lock = threading.Lock()
+        self._prepared: Dict[int, PreparedStatement] = {}
+        self._plan_cache: Dict[str, PreparedStatement] = {}
+        self._statement_ids = itertools.count(1)
+        self._catalog_version = 0
+        self._active = 0
+        self._shutdown = False
+        self.stats = ServerStats()
+        self.txns = TransactionManager(catalog)
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> LatencyProfile:
+        return self._profile
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def meter(self) -> LatencyMeter:
+        return self._meter
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse and plan ``sql``, caching by text."""
+        with self._lock:
+            cached = self._plan_cache.get(sql)
+            if cached is not None and cached.catalog_version == self._catalog_version:
+                return cached
+        ast = parse(sql)
+        plan = self._planner.plan(ast)
+        with self._lock:
+            prepared = PreparedStatement(
+                next(self._statement_ids), sql, ast, plan, self._catalog_version
+            )
+            self._prepared[prepared.statement_id] = prepared
+            self._plan_cache[sql] = prepared
+            self.stats.statements_prepared += 1
+        return prepared
+
+    def prepared(self, statement_id: int) -> PreparedStatement:
+        with self._lock:
+            try:
+                return self._prepared[statement_id]
+            except KeyError:
+                raise StatementHandleError(
+                    f"unknown prepared statement id {statement_id}"
+                ) from None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sql: str,
+        params: Sequence = (),
+        txn: Optional[Transaction] = None,
+    ) -> "Future[QueryResult]":
+        """Queue a statement for execution; returns a Future."""
+        with self._lock:
+            if self._shutdown:
+                raise ServerShutdownError("server is shut down")
+        return self._pool.submit(self._run_sql, sql, tuple(params), txn)
+
+    def submit_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: Sequence = (),
+        txn: Optional[Transaction] = None,
+    ) -> "Future[QueryResult]":
+        with self._lock:
+            if self._shutdown:
+                raise ServerShutdownError("server is shut down")
+        return self._pool.submit(self._run_prepared, prepared, tuple(params), txn)
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence = (),
+        txn: Optional[Transaction] = None,
+    ) -> QueryResult:
+        """Synchronous execution (still bounded by the worker pool)."""
+        return self.submit(sql, params, txn).result()
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin_transaction(self) -> Transaction:
+        """Start an explicit transaction (strict 2PL; see repro.db.txn)."""
+        with self._lock:
+            if self._shutdown:
+                raise ServerShutdownError("server is shut down")
+        return self.txns.begin()
+
+    def _run_sql(
+        self, sql: str, params: tuple, txn: Optional[Transaction] = None
+    ) -> QueryResult:
+        return self._run_prepared(self.prepare(sql), params, txn)
+
+    def _run_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: tuple,
+        txn: Optional[Transaction] = None,
+    ) -> QueryResult:
+        with self._lock:
+            stale = prepared.catalog_version != self._catalog_version
+        if stale:
+            prepared = self.prepare(prepared.sql)
+        if txn is not None:
+            self._lock_for_txn(txn, prepared.ast)
+        with self._lock:
+            self._active += 1
+            if self._active > self.stats.peak_concurrency:
+                self.stats.peak_concurrency = self._active
+        try:
+            ctx = ExecutionContext(
+                catalog=self._catalog,
+                buffer=self._buffer,
+                scans=self._scans,
+                profile=self._profile,
+                meter=self._meter,
+                params=params,
+                txn=txn,
+            )
+            result = prepared.plan.execute(ctx)
+            ctx.flush_cpu()
+            with self._lock:
+                self.stats.statements_executed += 1
+                if is_write(prepared.ast):
+                    self.stats.writes_executed += 1
+                    self._invalidate_if_ddl(prepared.ast)
+            return result
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def _lock_for_txn(self, txn: Transaction, ast: Statement) -> None:
+        """Acquire the statement's table lock under strict 2PL."""
+        from .errors import TransactionStateError
+
+        if isinstance(ast, (CreateTableStmt, CreateIndexStmt)):
+            raise TransactionStateError(
+                "DDL inside an explicit transaction is not supported"
+            )
+        table = getattr(ast, "table", None)
+        if table is not None:
+            self.txns.lock_for_statement(txn, table, write=is_write(ast))
+
+    def _invalidate_if_ddl(self, ast: Statement) -> None:
+        if isinstance(ast, (CreateTableStmt, CreateIndexStmt)):
+            self._catalog_version += 1
+
+    def invalidate_plans(self) -> None:
+        """Force re-planning (called after out-of-band DDL)."""
+        with self._lock:
+            self._catalog_version += 1
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    @property
+    def is_shutdown(self) -> bool:
+        with self._lock:
+            return self._shutdown

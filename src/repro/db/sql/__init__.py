@@ -1,0 +1,54 @@
+"""SQL subset front end: lexer, AST and parser.
+
+The grammar covers what the paper's five workloads and the TPC-H-like
+category/part schema need: single-table SELECT with aggregates, WHERE
+conjunctions/disjunctions, ORDER BY, LIMIT, and the DML/DDL statements
+INSERT, UPDATE, DELETE, CREATE TABLE and CREATE INDEX, all with ``?``
+positional parameters.
+"""
+
+from .ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    InsertStmt,
+    Literal,
+    LogicalOp,
+    NotOp,
+    OrderItem,
+    Param,
+    SelectItem,
+    SelectStmt,
+    Star,
+    Statement,
+    UpdateStmt,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+
+__all__ = [
+    "Aggregate",
+    "BinaryOp",
+    "ColumnRef",
+    "CreateIndexStmt",
+    "CreateTableStmt",
+    "DeleteStmt",
+    "InsertStmt",
+    "Literal",
+    "LogicalOp",
+    "NotOp",
+    "OrderItem",
+    "Param",
+    "SelectItem",
+    "SelectStmt",
+    "Star",
+    "Statement",
+    "UpdateStmt",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+]

@@ -1,0 +1,221 @@
+"""AST node definitions for the SQL subset.
+
+Nodes are frozen dataclasses so parsed statements can be cached and
+shared between server worker threads without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for expressions."""
+
+    def param_count(self) -> int:
+        """Number of ``?`` markers in this subtree."""
+        return 0
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional ``?`` parameter (0-based index in statement order)."""
+
+    index: int
+
+    def param_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` in ``SELECT *`` or ``count(*)``."""
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Comparison or arithmetic: =, <>, <, <=, >, >=, +, -, /, %, *."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def param_count(self) -> int:
+        return self.left.param_count() + self.right.param_count()
+
+
+@dataclass(frozen=True)
+class LogicalOp(Expr):
+    """AND / OR over two operands."""
+
+    op: str  # "and" | "or"
+    left: Expr
+    right: Expr
+
+    def param_count(self) -> int:
+        return self.left.param_count() + self.right.param_count()
+
+
+@dataclass(frozen=True)
+class NotOp(Expr):
+    operand: Expr
+
+    def param_count(self) -> int:
+        return self.operand.param_count()
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def param_count(self) -> int:
+        return self.operand.param_count()
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def param_count(self) -> int:
+        return self.operand.param_count() + sum(
+            item.param_count() for item in self.items
+        )
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def param_count(self) -> int:
+        return (
+            self.operand.param_count()
+            + self.low.param_count()
+            + self.high.param_count()
+        )
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``count|sum|min|max|avg ( [distinct] expr | * )``."""
+
+    func: str
+    argument: Expr  # Star for count(*)
+    distinct: bool = False
+
+    def param_count(self) -> int:
+        return self.argument.param_count()
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+class Statement:
+    """Marker base class for statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: Tuple[SelectItem, ...]
+    table: str
+    where: Optional[Expr] = None
+    group_by: Tuple[str, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[Expr] = None
+    distinct: bool = False
+    param_count: int = 0
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(item.expr, Aggregate) for item in self.items)
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: Tuple[str, ...]  # empty = full schema order
+    values: Tuple[Expr, ...]
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Optional[Expr] = None
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    table: str
+    columns: Tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    index: str
+    table: str
+    column: str
+    unique: bool = False
+    ordered: bool = False
+    clustered: bool = False
+    param_count: int = 0
+
+
+def is_write(statement: Statement) -> bool:
+    """True for statements that modify database state."""
+    return isinstance(
+        statement,
+        (InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt, CreateIndexStmt),
+    )

@@ -1,0 +1,224 @@
+"""Heap file storage: rows packed into fixed-capacity pages.
+
+A :class:`HeapTable` stores row tuples in insertion (or clustered-key)
+order.  Pages exist only as an accounting unit — ``page_of(row_id)``
+tells the access layer which buffer-pool page an access touches, which
+is what drives the simulated IO costs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from .concurrency import ReadWriteLock
+from .errors import ConstraintError
+from .types import Row, Schema
+
+#: Default rows per 8 KB-ish page; small enough that the benchmark tables
+#: span thousands of pages, large enough that scans amortize IO.
+DEFAULT_ROWS_PER_PAGE = 64
+
+
+class HeapTable:
+    """Row storage for one table.
+
+    When ``clustered_on`` is set, rows are kept physically sorted on that
+    column, so equality lookups on it touch one page run (the paper's
+    Experiment 3 uses a clustering index on ``category.category_id``).
+
+    Deleted rows leave tombstones (``None``) so that row ids — which the
+    indexes reference — stay stable; ``compact()`` rebuilds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        clustered_on: Optional[str] = None,
+    ) -> None:
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be positive")
+        self.name = name
+        self.schema = schema
+        self.rows_per_page = rows_per_page
+        self.clustered_on = clustered_on
+        self._cluster_pos = (
+            schema.position(clustered_on, name) if clustered_on else None
+        )
+        self._rows: List[Optional[Row]] = []
+        self._cluster_keys: List[Any] = []  # parallel to _rows when clustered
+        self._live_count = 0
+        self.lock = ReadWriteLock()
+        self._mutate = threading.Lock()
+
+    @property
+    def is_clustered(self) -> bool:
+        return self._cluster_pos is not None
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def page_of(self, row_id: int) -> int:
+        return row_id // self.rows_per_page
+
+    @property
+    def page_count(self) -> int:
+        if not self._rows:
+            return 0
+        return (len(self._rows) - 1) // self.rows_per_page + 1
+
+    @property
+    def row_count(self) -> int:
+        """Number of live (non-deleted) rows."""
+        return self._live_count
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Tuple[Any, ...]) -> int:
+        """Insert a row (already schema-coerced); returns its row id.
+
+        Clustered tables insert in key order, shifting the tail.  The
+        benchmarks bulk-load clustered tables in sorted order, so the
+        shift is the exception, not the rule.
+        """
+        row = self.schema.coerce_row(values)
+        with self._mutate:
+            if self._cluster_pos is None:
+                self._rows.append(row)
+                self._live_count += 1
+                return len(self._rows) - 1
+            key = row[self._cluster_pos]
+            position = bisect.bisect_right(self._cluster_keys, _OrderKey(key))
+            self._rows.insert(position, row)
+            self._cluster_keys.insert(position, _OrderKey(key))
+            self._live_count += 1
+            return position
+
+    def delete(self, row_id: int) -> None:
+        with self._mutate:
+            if self._rows[row_id] is None:
+                raise ConstraintError(f"row {row_id} already deleted")
+            self._rows[row_id] = None
+            if self._cluster_pos is not None:
+                self._cluster_keys[row_id] = _OrderKey(None)
+            self._live_count -= 1
+
+    def update(self, row_id: int, row: Row) -> None:
+        """Replace a row in place.
+
+        Updating the clustering key in place is disallowed; callers must
+        delete + reinsert (the planner does exactly that).
+        """
+        with self._mutate:
+            old = self._rows[row_id]
+            if old is None:
+                raise ConstraintError(f"row {row_id} is deleted")
+            if self._cluster_pos is not None:
+                if row[self._cluster_pos] != old[self._cluster_pos]:
+                    raise ConstraintError(
+                        "cannot update clustering key in place"
+                    )
+            self._rows[row_id] = self.schema.coerce_row(row)
+
+    def restore(self, row_id: int, row: Row) -> None:
+        """Resurrect a tombstoned row in place (transaction rollback).
+
+        The inverse of :meth:`delete`: the row id must currently hold a
+        tombstone.  Only rollback uses this — the deleting transaction
+        held the table exclusively, so the slot cannot have been
+        compacted away in between.
+        """
+        with self._mutate:
+            if self._rows[row_id] is not None:
+                raise ConstraintError(f"row {row_id} is not deleted")
+            coerced = self.schema.coerce_row(row)
+            self._rows[row_id] = coerced
+            if self._cluster_pos is not None:
+                self._cluster_keys[row_id] = _OrderKey(coerced[self._cluster_pos])
+            self._live_count += 1
+
+    def compact(self) -> None:
+        """Drop tombstones; invalidates row ids (indexes must rebuild)."""
+        with self._mutate:
+            self._rows = [row for row in self._rows if row is not None]
+            if self._cluster_pos is not None:
+                self._cluster_keys = [
+                    _OrderKey(row[self._cluster_pos]) for row in self._rows
+                ]
+            self._live_count = len(self._rows)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def fetch(self, row_id: int) -> Optional[Row]:
+        return self._rows[row_id]
+
+    def iter_rows(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(row_id, row)`` for live rows, in physical order."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def iter_pages(self) -> Iterator[Tuple[int, List[Tuple[int, Row]]]]:
+        """Yield ``(page_no, [(row_id, row), ...])`` per page."""
+        page: List[Tuple[int, Row]] = []
+        current_page = 0
+        for row_id, row in enumerate(self._rows):
+            page_no = self.page_of(row_id)
+            if page_no != current_page:
+                yield current_page, page
+                page = []
+                current_page = page_no
+            if row is not None:
+                page.append((row_id, row))
+        if page or self._rows:
+            yield current_page, page
+
+    def cluster_range(self, key: Any) -> Tuple[int, int]:
+        """Row-id range [lo, hi) holding ``key`` on a clustered table."""
+        if self._cluster_pos is None:
+            raise ConstraintError(f"table {self.name!r} is not clustered")
+        marker = _OrderKey(key)
+        lo = bisect.bisect_left(self._cluster_keys, marker)
+        hi = bisect.bisect_right(self._cluster_keys, marker)
+        return lo, hi
+
+
+class _OrderKey:
+    """Total order over heterogeneous values with None sorting last.
+
+    Lets clustered tables hold NULLs and mixed comparable values without
+    ``TypeError`` from raw tuple comparison.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _rank(self) -> Tuple[int, Any]:
+        if self.value is None:
+            return (2, 0)
+        if isinstance(self.value, (int, float)) and not isinstance(self.value, bool):
+            return (0, self.value)
+        return (1, str(self.value))
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self._rank() == other._rank()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_OrderKey({self.value!r})"
+
+
+#: Public alias used by the sort operator.
+OrderKey = _OrderKey

@@ -1,0 +1,280 @@
+"""Statement wrappers: the unit of the dependence analysis.
+
+A :class:`Stmt` pairs one Python statement node with
+
+* its def/use summary,
+* its *guards* — the boolean conditions Rule B hoisted it under
+  (``cv == true ? stmt`` in the paper's notation), and
+* its query-call description when the statement is a query execution.
+
+A loop body is a flat list of Stmts (compound ``if``s are either
+flattened into guards by Rule B or kept as opaque composite statements),
+preceded by a pseudo *header* statement representing the loop predicate
+/ iterator.  The header writes the pseudo-variable ``CONTROL_VAR`` read
+by every body statement — this encodes the control dependence of the
+body on the predicate as a flow dependence, which Section IV of the
+paper requires for the true-dependence cycle test.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from .defuse import DefUse, analyze_expression, analyze_statement
+from .purity import PurityEnv
+
+#: Pseudo-variable carrying the loop-control dependence.  Excluded from
+#: split-variable spilling (it is not program state).
+CONTROL_VAR = "__loop_control__"
+
+_sid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One hoisted condition: ``var == value`` must hold to execute."""
+
+    var: str
+    value: bool
+
+    def negated(self) -> "Guard":
+        return Guard(self.var, not self.value)
+
+
+@dataclass(frozen=True)
+class QueryCall:
+    """Description of the query call inside a statement."""
+
+    call: ast.Call
+    spec: object  # transform.registry.QuerySpec (duck-typed to avoid a cycle)
+    receiver: Optional[ast.expr]
+    target: Optional[ast.expr]  # assignment target, None for bare calls
+    top_level: bool  # the call is the entire RHS / expression statement
+
+
+@dataclass(eq=False)  # identity semantics: reordering tracks statements by object
+class Stmt:
+    """One analyzed statement."""
+
+    node: ast.stmt
+    du: DefUse
+    guards: Tuple[Guard, ...] = ()
+    query: Optional[QueryCall] = None
+    is_header: bool = False
+    sid: int = field(default_factory=lambda: next(_sid_counter))
+
+    # ------------------------------------------------------------------
+    # effective def/use (guards add reads; guarded writes never kill)
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> FrozenSet[str]:
+        names = set(self.du.reads)
+        names.update(guard.var for guard in self.guards)
+        if not self.is_header:
+            names.add(CONTROL_VAR)
+        return frozenset(names)
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        return self.du.writes
+
+    @property
+    def kills(self) -> FrozenSet[str]:
+        if self.guards:
+            return frozenset()
+        return self.du.kills
+
+    @property
+    def external_reads(self) -> FrozenSet[str]:
+        return self.du.external_reads
+
+    @property
+    def external_writes(self) -> FrozenSet[str]:
+        return self.du.external_writes
+
+    @property
+    def commuting(self) -> FrozenSet[str]:
+        return self.du.commuting
+
+    @property
+    def is_query(self) -> bool:
+        return self.query is not None and self.query.top_level
+
+    @property
+    def has_embedded_query(self) -> bool:
+        return self.query is not None and not self.query.top_level
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        try:
+            text = ast.unparse(self.node)
+        except Exception:
+            text = type(self.node).__name__
+        prefix = "".join(
+            f"[{'' if guard.value else 'not '}{guard.var}] " for guard in self.guards
+        )
+        return f"<s{self.sid} {prefix}{text!r}>"
+
+
+#: Statement node types the transformation rules understand natively.
+SUPPORTED_SIMPLE = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Pass)
+#: Compound statements handled structurally (Rule B / nested-loop rule).
+SUPPORTED_COMPOUND = (ast.If, ast.While, ast.For)
+
+
+def is_supported(node: ast.stmt) -> bool:
+    return isinstance(node, SUPPORTED_SIMPLE + SUPPORTED_COMPOUND)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+
+def make_stmt(
+    node: ast.stmt,
+    purity: PurityEnv,
+    registry=None,
+    guards: Tuple[Guard, ...] = (),
+) -> Stmt:
+    """Analyze one statement node into a :class:`Stmt`."""
+    du = analyze_statement(node, purity, registry)
+    query = find_query_call(node, registry) if registry is not None else None
+    return Stmt(node=node, du=du, guards=guards, query=query)
+
+
+def make_block(
+    nodes: Sequence[ast.stmt],
+    purity: PurityEnv,
+    registry=None,
+    guards: Tuple[Guard, ...] = (),
+) -> List[Stmt]:
+    return [make_stmt(node, purity, registry, guards) for node in nodes]
+
+
+def make_header(
+    loop: ast.stmt, purity: PurityEnv, registry=None
+) -> Stmt:
+    """Build the pseudo header statement of a ``while`` or ``for`` loop.
+
+    The header reads the predicate / iterable variables, writes the loop
+    variable (for-loops) and writes :data:`CONTROL_VAR` — read by every
+    body statement — so control dependence shows up as flow dependence.
+    """
+    if isinstance(loop, ast.While):
+        du = analyze_expression(loop.test, purity, registry)
+        writes = {CONTROL_VAR}
+        kills = {CONTROL_VAR}
+        reads = set(du.reads)
+        external_reads = set(du.external_reads)
+        external_writes = set(du.external_writes)
+    elif isinstance(loop, ast.For):
+        du = analyze_expression(loop.iter, purity, registry)
+        target_writes = _target_names(loop.target)
+        writes = {CONTROL_VAR, *target_writes}
+        kills = {CONTROL_VAR, *target_writes}
+        reads = set(du.reads)
+        external_reads = set(du.external_reads)
+        external_writes = set(du.external_writes)
+    else:
+        raise TypeError(f"not a loop node: {loop!r}")
+    header_du = DefUse(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        kills=frozenset(kills),
+        external_reads=frozenset(external_reads),
+        external_writes=frozenset(external_writes),
+    )
+    return Stmt(node=loop, du=header_du, is_header=True)
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    # Attribute/subscript loop targets: treat as a write of the base.
+    from .defuse import _base_name
+
+    base = _base_name(target)
+    return [base] if base is not None else []
+
+
+# ----------------------------------------------------------------------
+# query-call detection
+# ----------------------------------------------------------------------
+
+
+def find_query_call(node: ast.stmt, registry) -> Optional[QueryCall]:
+    """Find the registry-matching call in ``node``, if any.
+
+    The call is *top level* — and the statement therefore transformable
+    as a query execution statement — only when it is the entire value of
+    a simple assignment or expression statement and is the only query
+    call in the statement.
+    """
+    calls = _query_calls_in(node, registry)
+    if not calls:
+        return None
+    if len(calls) > 1:
+        call, spec = calls[0]
+        return QueryCall(call, spec, _receiver_of(call), None, top_level=False)
+    call, spec = calls[0]
+    receiver = _receiver_of(call)
+    if isinstance(node, ast.Assign) and node.value is call:
+        if len(node.targets) == 1 and _is_simple_target(node.targets[0]):
+            return QueryCall(call, spec, receiver, node.targets[0], top_level=True)
+    if isinstance(node, ast.Expr) and node.value is call:
+        return QueryCall(call, spec, receiver, None, top_level=True)
+    return QueryCall(call, spec, receiver, None, top_level=False)
+
+
+def _query_calls_in(node: ast.stmt, registry) -> List[tuple]:
+    found: List[tuple] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = None
+            if isinstance(child.func, ast.Attribute):
+                name = child.func.attr
+            elif isinstance(child.func, ast.Name):
+                name = child.func.id
+            if name is None:
+                continue
+            spec = registry.lookup(name)
+            if spec is not None:
+                found.append((child, spec))
+    return found
+
+
+def _receiver_of(call: ast.Call) -> Optional[ast.expr]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.value
+    return None
+
+
+def _is_simple_target(target: ast.expr) -> bool:
+    if isinstance(target, ast.Name):
+        return True
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return all(isinstance(element, ast.Name) for element in target.elts)
+    return False
+
+
+@dataclass
+class LoopInfo:
+    """A loop selected for transformation."""
+
+    node: ast.stmt  # ast.While | ast.For
+    header: Stmt
+    body: List[Stmt]
+
+    @property
+    def kind(self) -> str:
+        return "while" if isinstance(self.node, ast.While) else "for"

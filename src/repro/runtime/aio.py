@@ -1,0 +1,286 @@
+"""asyncio front end for the observer model.
+
+The paper coordinates asynchronous submissions with client *threads*
+(the Java ``Executor`` framework); the natural Python counterpart today
+is ``asyncio``.  This module provides the same three primitives on an
+event loop:
+
+* ``await conn.execute_query(...)`` — the blocking call, made awaitable
+  so it suspends the coroutine instead of the thread;
+* ``conn.submit_query(...)`` — non-blocking submit returning an
+  :class:`AioQueryHandle` (awaitable, mirrors
+  :class:`~repro.runtime.handles.QueryHandle`);
+* ``await conn.fetch_result(handle)`` — the blocking fetch.
+
+A Rule A transformed loop therefore maps one-to-one onto coroutine
+code::
+
+    handles = [conn.submit_query(SQL, [c]) for c in categories]  # loop 1
+    for handle in handles:                                       # loop 2
+        total += (await conn.fetch_result(handle)).scalar()
+
+and the unordered callback model (paper Section II) maps onto
+:func:`as_completed`.
+
+The substrate underneath is still the simulated thread-per-request
+database/web server; each in-flight request occupies one thread of a
+dedicated pool, so ``max_in_flight`` plays exactly the role of the
+paper's "number of threads" knob and produces the same plateau curves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Awaitable, Callable, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class AioStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+
+
+class AioQueryHandle:
+    """Awaitable handle mirroring :class:`~repro.runtime.handles.QueryHandle`.
+
+    ``await handle`` (or ``await conn.fetch_result(handle)``) yields the
+    query result; errors re-raise at the await, in submission order when
+    awaited in submission order — the observer-model contract.
+    """
+
+    __slots__ = ("_future", "_submitted_at", "_label")
+
+    def __init__(self, future: "asyncio.Future[Any]", label: str = "") -> None:
+        self._future = future
+        self._submitted_at = time.perf_counter()
+        self._label = label
+
+    def __await__(self):
+        return self._future.__await__()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
+
+    def exception(self) -> Optional[BaseException]:
+        """Exception of a *finished* handle (None when it succeeded)."""
+        return self._future.exception()
+
+    @property
+    def age_s(self) -> float:
+        return time.perf_counter() - self._submitted_at
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._future.done() else "pending"
+        label = f" {self._label!r}" if self._label else ""
+        return f"<AioQueryHandle{label} {state}>"
+
+
+class AioExecutor:
+    """Bridge from blocking substrate calls to awaitables.
+
+    Wraps a bounded thread pool: ``submit(fn)`` schedules the blocking
+    ``fn`` on the pool and returns an :class:`AioQueryHandle`.  The pool
+    size caps in-flight requests, exactly like
+    :class:`~repro.runtime.executor.AsyncExecutor` does for the
+    thread-coordinated runtime.
+    """
+
+    def __init__(self, max_in_flight: int = 10, name: str = "aio") -> None:
+        if max_in_flight < 1:
+            raise ValueError("need at least one in-flight slot")
+        self._max_in_flight = max_in_flight
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_in_flight, thread_name_prefix=name
+        )
+        self._closed = False
+        self.stats = AioStats()
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight
+
+    def submit(self, fn: Callable[[], Any], label: str = "") -> AioQueryHandle:
+        """Schedule blocking ``fn``; returns an awaitable handle.
+
+        Must be called from a running event loop (the handle's future
+        belongs to it).
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        loop = asyncio.get_running_loop()
+        inner = loop.run_in_executor(self._pool, fn)
+        self.stats.submitted += 1
+
+        def book_keep(done: "asyncio.Future[Any]") -> None:
+            if done.cancelled() or done.exception() is not None:
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
+
+        inner.add_done_callback(book_keep)
+        return AioQueryHandle(inner, label)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AioExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class AioConnection:
+    """asyncio adapter over a blocking :class:`repro.client.connection.Connection`.
+
+    Construct from a database::
+
+        conn = db.connect(async_workers=1)      # blocking calls only
+        aconn = AioConnection(conn, max_in_flight=20)
+
+    or use :func:`aio_connect`.  The wrapped connection's own async
+    thread pool is unused — concurrency comes from this adapter's pool.
+    """
+
+    def __init__(self, connection, max_in_flight: int = 10) -> None:
+        self._connection = connection
+        self._executor = AioExecutor(max_in_flight, name="client-aio")
+
+    @property
+    def connection(self):
+        return self._connection
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._executor.max_in_flight
+
+    @property
+    def stats(self) -> AioStats:
+        return self._executor.stats
+
+    # ------------------------------------------------------------------
+    # the three primitives
+    # ------------------------------------------------------------------
+    async def execute_query(self, query, params: Sequence = ()):
+        """Awaitable blocking call: suspends the coroutine for the full
+        round trip (the original program shape, minus a blocked thread)."""
+        return await self.submit_query(query, params)
+
+    async def execute_update(self, query, params: Sequence = ()):
+        return await self.submit_query(query, params)
+
+    def submit_query(self, query, params: Sequence = ()) -> AioQueryHandle:
+        """Non-blocking submit; the paper's ``submitQuery``."""
+        label = query if isinstance(query, str) else getattr(query, "sql", "")
+        return self._executor.submit(
+            lambda: self._connection.execute_query(query, list(params)),
+            label=label[:40],
+        )
+
+    submit_update = submit_query
+
+    async def fetch_result(self, handle: AioQueryHandle):
+        """The paper's ``fetchResult``: await one handle."""
+        return await handle
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    async def gather(self, handles: Iterable[AioQueryHandle]) -> List[Any]:
+        """Fetch many handles, results in submission order."""
+        return list(await asyncio.gather(*handles))
+
+    def close(self) -> None:
+        self._executor.close()
+        self._connection.close()
+
+    def __enter__(self) -> "AioConnection":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class AioWebClient:
+    """asyncio adapter over :class:`repro.web.client.WebServiceClient`.
+
+    Experiment 5's loop expressed as coroutines: ``submit_call`` plus
+    ``await`` replaces the thread-pool observer model.
+    """
+
+    def __init__(self, client, max_in_flight: int = 10) -> None:
+        self._client = client
+        self._executor = AioExecutor(max_in_flight, name="web-aio")
+
+    @property
+    def stats(self) -> AioStats:
+        return self._executor.stats
+
+    async def call(self, endpoint: str, *args: Any) -> Any:
+        return await self.submit_call(endpoint, *args)
+
+    def submit_call(self, endpoint: str, *args: Any) -> AioQueryHandle:
+        return self._executor.submit(
+            lambda: self._client.call(endpoint, *args), label=endpoint
+        )
+
+    async def get_entity(self, entity_id: str) -> dict:
+        return await self.call("get_entity", entity_id)
+
+    async def related(self, entity_id: str, relation: str) -> list:
+        return await self.call("related", entity_id, relation)
+
+    async def list_type(self, entity_type: str) -> list:
+        return await self.call("list_type", entity_type)
+
+    def close(self) -> None:
+        self._executor.close()
+
+
+def aio_connect(database, max_in_flight: int = 10) -> AioConnection:
+    """Open an :class:`AioConnection` on a :class:`repro.db.Database`."""
+    # One worker on the wrapped connection: its pool is never used, the
+    # AioExecutor provides all the concurrency.
+    return AioConnection(database.connect(async_workers=1), max_in_flight)
+
+
+async def as_completed(
+    handles: Iterable[AioQueryHandle],
+) -> AsyncIterator[Any]:
+    """Yield results in *completion* order — the paper's callback model
+    (Section II), which fits "when the order of processing the results
+    is unimportant"::
+
+        async for result in as_completed(handles):
+            process(result)
+    """
+    for future in asyncio.as_completed([handle._future for handle in handles]):
+        yield await future
+
+
+async def for_each_completed(
+    handles: Iterable[AioQueryHandle],
+    callback: Callable[[Any], Any],
+) -> int:
+    """Invoke ``callback`` on each result as it completes; returns the
+    number of callbacks run.  Coroutine callbacks are awaited."""
+    count = 0
+    async for result in as_completed(handles):
+        outcome = callback(result)
+        if asyncio.iscoroutine(outcome):
+            await outcome
+        count += 1
+    return count

@@ -1,0 +1,165 @@
+"""The callback coordination model (paper Section II).
+
+The paper's transformations use the *observer* model (submit returns a
+handle; fetch blocks).  Section II also describes the *callback* model —
+"the calling program registers a callback function as part of the
+non-blocking call ... suitable when the program logic to process the
+call results is small and the order of processing the results is
+unimportant" — and leaves its use to future work.  This module provides
+that runtime: a :class:`CallbackDispatcher` that invokes registered
+callbacks as results complete, plus an order-preserving variant for
+logic that does care.
+
+Callbacks run on a single dispatcher thread (never concurrently with
+each other), so unsynchronized accumulators are safe — the property the
+model is usually chosen for.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from .handles import QueryHandle
+
+
+@dataclass
+class CallbackStats:
+    registered: int = 0
+    delivered: int = 0
+    failed: int = 0
+
+
+class CallbackDispatcher:
+    """Runs result callbacks on one dispatcher thread.
+
+    ``register(handle, on_result, on_error)`` arranges for exactly one
+    of the two callbacks to run once the handle completes.  Completion
+    *order* drives delivery order (the callback model's contract);
+    ``drain()`` blocks until every registered callback has run.
+    """
+
+    def __init__(self, name: str = "callbacks") -> None:
+        self._queue: "queue.Queue[Optional[Tuple]]" = queue.Queue()
+        self._outstanding = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._closed = False
+        self.stats = CallbackStats()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        handle: QueryHandle,
+        on_result: Callable[[Any], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        """Invoke ``on_result(value)`` (or ``on_error(exc)``) when
+        ``handle`` completes."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            self._outstanding += 1
+            self.stats.registered += 1
+
+        def completed(future) -> None:
+            error = future.exception()
+            self._queue.put((on_result, on_error, future, error))
+
+        handle._future.add_done_callback(completed)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            on_result, on_error, future, error = item
+            try:
+                if error is None:
+                    on_result(future.result())
+                    with self._lock:
+                        self.stats.delivered += 1
+                else:
+                    with self._lock:
+                        self.stats.failed += 1
+                    if on_error is not None:
+                        on_error(error)
+            finally:
+                with self._lock:
+                    self._outstanding -= 1
+                    if self._outstanding == 0:
+                        self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until all registered callbacks have run."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            )
+
+    def close(self) -> None:
+        self.drain()
+        with self._lock:
+            self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+
+    def __enter__(self) -> "CallbackDispatcher":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class OrderedCallbackDispatcher:
+    """Callback delivery in *registration* order.
+
+    Bridges the two models: results may complete out of order, but
+    callbacks fire in submission order — useful when the consuming
+    logic is small but order-sensitive, without rewriting it into the
+    observer structure.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[QueryHandle, Callable, Optional[Callable]]] = []
+        self.stats = CallbackStats()
+
+    def register(
+        self,
+        handle: QueryHandle,
+        on_result: Callable[[Any], None],
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        self._pending.append((handle, on_result, on_error))
+        self.stats.registered += 1
+
+    def drain(self) -> None:
+        """Deliver every callback, in registration order, blocking on
+        each handle as needed."""
+        pending, self._pending = self._pending, []
+        for handle, on_result, on_error in pending:
+            try:
+                value = handle.result()
+            except BaseException as exc:
+                self.stats.failed += 1
+                if on_error is not None:
+                    on_error(exc)
+                else:
+                    raise
+            else:
+                on_result(value)
+                self.stats.delivered += 1
+
+    def __enter__(self) -> "OrderedCallbackDispatcher":
+        return self
+
+    def __exit__(self, exc_type, *_exc) -> None:
+        if exc_type is None:
+            self.drain()

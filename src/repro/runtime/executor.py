@@ -1,0 +1,119 @@
+"""Client-side asynchronous executor.
+
+The analog of the ``java.util.concurrent`` Executor framework used by the
+paper's transformed programs: a bounded pool of client threads, each of
+which performs one blocking round trip at a time.  The pool size is the
+"number of threads" axis in Figures 9, 10, 13 and 15.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .handles import QueryHandle
+
+
+@dataclass
+class ExecutorStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    peak_in_flight: int = 0
+
+
+class AsyncExecutor:
+    """A resizable thread pool producing :class:`QueryHandle` objects."""
+
+    def __init__(
+        self,
+        workers: int = 10,
+        name: str = "async",
+        spawn_cost_s: float = 0.0,
+    ) -> None:
+        """``spawn_cost_s`` is the simulated per-thread startup cost,
+        charged once (``workers * spawn_cost_s``) on the first submit —
+        the thread-creation overhead the paper blames for the
+        transformed program losing at very small iteration counts."""
+        if workers < 1:
+            raise ValueError("need at least one worker thread")
+        self._name = name
+        self._workers = workers
+        self._spawn_cost_s = spawn_cost_s
+        self._started = False
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix=name)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self.stats = ExecutorStats()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def resize(self, workers: int) -> None:
+        """Replace the pool with one of a different size.
+
+        Waits for in-flight work (correct handles matter more than a
+        fast resize; benchmarks resize only between runs).
+        """
+        if workers < 1:
+            raise ValueError("need at least one worker thread")
+        if workers == self._workers:
+            return
+        old = self._pool
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix=self._name)
+        self._workers = workers
+        old.shutdown(wait=True)
+
+    def submit(self, task: Callable[[], Any], label: str = "") -> QueryHandle:
+        """Run ``task`` on a pool thread; returns its handle."""
+        charge_spawn = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if not self._started:
+                self._started = True
+                charge_spawn = self._spawn_cost_s > 0
+            self.stats.submitted += 1
+        if charge_spawn:
+            from ..db.latency import precise_sleep
+
+            precise_sleep(self._spawn_cost_s * self._workers)
+
+        def run() -> Any:
+            with self._lock:
+                self._in_flight += 1
+                if self._in_flight > self.stats.peak_in_flight:
+                    self.stats.peak_in_flight = self._in_flight
+            try:
+                value = task()
+            except BaseException:
+                with self._lock:
+                    self._in_flight -= 1
+                    self.stats.failed += 1
+                raise
+            with self._lock:
+                self._in_flight -= 1
+                self.stats.completed += 1
+            return value
+
+        return QueryHandle(self._pool.submit(run), label=label)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "AsyncExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

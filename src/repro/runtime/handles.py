@@ -1,0 +1,67 @@
+"""Query handles: futures with observer-model semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Optional
+
+
+class QueryHandle:
+    """Handle returned by ``submit_query``.
+
+    Wraps a future, records timing, and guarantees the paper's
+    observer-model contract: ``result()`` blocks until the submitted
+    request finishes and re-raises any error exactly once per call, in
+    the calling (application) thread.
+    """
+
+    __slots__ = ("_future", "_submitted_at", "_label")
+
+    def __init__(self, future: "Future[Any]", label: str = "") -> None:
+        self._future = future
+        self._submitted_at = time.perf_counter()
+        self._label = label
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the request completes; re-raises its error."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        """Non-blocking poll: has the request finished (ok or error)?"""
+        return self._future.done()
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        return self._future.exception(timeout)
+
+    def cancel(self) -> bool:
+        """Try to cancel; only possible while still queued."""
+        return self._future.cancel()
+
+    @property
+    def age_s(self) -> float:
+        return time.perf_counter() - self._submitted_at
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done() else "pending"
+        label = f" {self._label!r}" if self._label else ""
+        return f"<QueryHandle{label} {state}>"
+
+
+def completed_handle(value: Any) -> QueryHandle:
+    """A handle that is already resolved (used by tests and by the
+    synchronous fallback path of the transformed code)."""
+    future: "Future[Any]" = Future()
+    future.set_result(value)
+    return QueryHandle(future)
+
+
+def failed_handle(error: BaseException) -> QueryHandle:
+    future: "Future[Any]" = Future()
+    future.set_exception(error)
+    return QueryHandle(future)

@@ -1,0 +1,64 @@
+"""Program transformations for asynchronous query submission.
+
+The paper's contribution: Rule A (loop fission), Rule B (control to flow
+dependences), Rules C1–C3 with the statement reordering algorithm, the
+nested-loop rule, the bounded-window extension, and the readability
+pass — orchestrated by :class:`TransformEngine` and fronted by
+:func:`asyncify` / :func:`asyncify_source`.
+"""
+
+from .asyncify import asyncify, asyncify_source
+from .costmodel import (
+    LoopCostEstimate,
+    breakeven_iterations,
+    estimate_loop_cost,
+    recommend_threads,
+    should_transform,
+)
+from .engine import LoopReport, QueryOutcome, TransformEngine, TransformResult
+from .errors import (
+    REASON_CONTROL,
+    REASON_EMBEDDED_QUERY,
+    REASON_EXTERNAL,
+    REASON_PRECONDITION,
+    REASON_RECEIVER_WRITTEN,
+    REASON_RECURSION,
+    REASON_RENAME,
+    REASON_REORDER_FAILED,
+    REASON_TRUE_CYCLE,
+    REASON_UNSUPPORTED_STMT,
+    LoopNotTransformable,
+    ReorderFailed,
+    TransformError,
+)
+from .registry import QueryRegistry, QuerySpec, default_registry
+
+__all__ = [
+    "asyncify",
+    "asyncify_source",
+    "LoopCostEstimate",
+    "breakeven_iterations",
+    "estimate_loop_cost",
+    "recommend_threads",
+    "should_transform",
+    "LoopReport",
+    "QueryOutcome",
+    "TransformEngine",
+    "TransformResult",
+    "LoopNotTransformable",
+    "ReorderFailed",
+    "TransformError",
+    "QueryRegistry",
+    "QuerySpec",
+    "default_registry",
+    "REASON_CONTROL",
+    "REASON_EMBEDDED_QUERY",
+    "REASON_EXTERNAL",
+    "REASON_PRECONDITION",
+    "REASON_RECEIVER_WRITTEN",
+    "REASON_RECURSION",
+    "REASON_RENAME",
+    "REASON_REORDER_FAILED",
+    "REASON_TRUE_CYCLE",
+    "REASON_UNSUPPORTED_STMT",
+]

@@ -1,0 +1,155 @@
+"""Cost-based transformation advice (the paper's Discussion section).
+
+The paper leaves two questions to future work:
+
+* *Which calls to be transformed?* — "the benefit ... depends on the
+  number of iterations and other system parameters.  Making this
+  decision in a cost-based manner is a future work."
+* *How many threads to use?* — "Identifying the optimal number of
+  threads for a given case is a challenging problem."
+
+This module provides first-order analytic answers on top of the
+latency model.  The estimates deliberately mirror the mechanics of the
+runtime (spawn cost once, per-iteration submit overhead, round trips
+overlapped up to the effective parallelism), so the predictions line up
+with the measured Figure 8/9 curves — the benchmark suite checks this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..db.latency import LatencyProfile
+
+
+@dataclass(frozen=True)
+class LoopCostEstimate:
+    """Predicted cost of one query loop, blocking vs asynchronous."""
+
+    iterations: int
+    threads: int
+    blocking_s: float
+    async_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.async_s <= 0:
+            return float("inf")
+        return self.blocking_s / self.async_s
+
+    @property
+    def beneficial(self) -> bool:
+        return self.async_s < self.blocking_s
+
+
+def estimate_loop_cost(
+    profile: LatencyProfile,
+    iterations: int,
+    threads: int = 10,
+    server_time_s: float = 0.0,
+    client_work_s: float = 0.0,
+) -> LoopCostEstimate:
+    """First-order prediction of the loop's blocking and async times.
+
+    ``server_time_s`` is the per-query server-side execution time (CPU
+    plus expected IO); ``client_work_s`` is the per-iteration client
+    computation.  The async estimate models:
+
+    * one-time thread pool startup (``thread_spawn_s`` per worker),
+    * per-iteration submit overhead in the application thread,
+    * round trips + server time overlapped across the effective
+      parallelism ``min(threads, server_workers)``, and
+    * client work overlapping with the in-flight requests.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    per_query = profile.network_rtt_s + server_time_s
+    blocking = iterations * (per_query + client_work_s)
+
+    if iterations == 0:
+        return LoopCostEstimate(0, threads, 0.0, 0.0)
+
+    effective = max(1, min(threads, profile.server_workers))
+    spawn = profile.thread_spawn_s * threads
+    submit_side = iterations * (profile.send_overhead_s + client_work_s)
+    request_side = iterations * per_query / effective
+    # The application cannot finish before either side is done, and the
+    # last in-flight request always costs one full round trip.
+    overlap = max(submit_side, request_side) + per_query
+    asynchronous = spawn + overlap
+    return LoopCostEstimate(iterations, threads, blocking, asynchronous)
+
+
+def breakeven_iterations(
+    profile: LatencyProfile,
+    threads: int = 10,
+    server_time_s: float = 0.0,
+    client_work_s: float = 0.0,
+    limit: int = 1_000_000,
+) -> Optional[int]:
+    """Smallest iteration count at which the transformation wins.
+
+    Returns None when no count up to ``limit`` is beneficial (e.g. a
+    zero-latency profile, where async submission is pure overhead).
+    """
+    low, high = 1, 1
+    while high <= limit:
+        if estimate_loop_cost(
+            profile, high, threads, server_time_s, client_work_s
+        ).beneficial:
+            break
+        high *= 2
+    else:
+        return None
+    low = max(1, high // 2)
+    while low < high:
+        mid = (low + high) // 2
+        if estimate_loop_cost(
+            profile, mid, threads, server_time_s, client_work_s
+        ).beneficial:
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+def recommend_threads(
+    profile: LatencyProfile,
+    iterations: int,
+    candidates: Sequence[int] = (1, 2, 5, 10, 20, 30, 40, 50),
+    server_time_s: float = 0.0,
+    client_work_s: float = 0.0,
+    tolerance: float = 0.05,
+) -> int:
+    """Smallest thread count within ``tolerance`` of the predicted best.
+
+    Mirrors the paper's observation that the curve plateaus: more
+    threads than the plateau point only cost memory and spawn time.
+    """
+    estimates = {
+        threads: estimate_loop_cost(
+            profile, iterations, threads, server_time_s, client_work_s
+        ).async_s
+        for threads in candidates
+    }
+    best = min(estimates.values())
+    for threads in sorted(estimates):
+        if estimates[threads] <= best * (1 + tolerance):
+            return threads
+    return max(candidates)  # pragma: no cover - loop always returns
+
+
+def should_transform(
+    profile: LatencyProfile,
+    iterations: int,
+    threads: int = 10,
+    server_time_s: float = 0.0,
+    client_work_s: float = 0.0,
+) -> bool:
+    """The Discussion-section decision procedure: transform this call?"""
+    return estimate_loop_cost(
+        profile, iterations, threads, server_time_s, client_work_s
+    ).beneficial

@@ -1,0 +1,129 @@
+"""Query-call registry: which calls are blocking queries, and what their
+asynchronous submit/fetch counterparts are.
+
+The paper's tool recognized JDBC ``executeQuery`` calls and rewrote them
+to the wrapper library's ``submitQuery``/``fetchResult``.  Here the
+registry maps *method names* (the tool matches method calls on any
+receiver, as the JDBC wrappers did) and records each call's external
+effect, which drives the external-dependence edges of the DDG:
+
+* ``read`` — the call reads database/service state;
+* ``write`` — the call updates state; ordering against other external
+  accesses must be preserved;
+* ``commuting_write`` — updates that the developer declares commutative
+  with each other (e.g. INSERTs of distinct keys, the paper's
+  Experiment 4), letting Rule A reorder them across iterations.
+
+Besides query calls, the registry tracks **barrier calls** — methods
+like ``begin`` / ``commit`` / ``rollback`` that delimit transactions.  A
+barrier conflicts with *every* external access (it writes the wildcard
+resource ``"*"``), so no statement may be reordered across it and no
+loop containing one around a query statement can be split: exactly the
+conservative treatment the paper's Discussion section calls for when
+updates and transactions meet asynchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Set
+
+VALID_EFFECTS = ("read", "write", "commuting_write")
+
+#: The wildcard external resource written by barrier calls.
+BARRIER_RESOURCE = "*"
+
+#: Connection methods that open/close transaction scopes.
+DEFAULT_BARRIERS = ("begin", "commit", "rollback", "transaction")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One blocking call and its asynchronous counterparts."""
+
+    blocking: str
+    submit: str
+    fetch: str
+    resource: str = "db"
+    effect: str = "read"
+
+    def __post_init__(self) -> None:
+        if self.effect not in VALID_EFFECTS:
+            raise ValueError(f"invalid effect {self.effect!r}")
+
+
+class QueryRegistry:
+    """Lookup table from method name to :class:`QuerySpec`."""
+
+    def __init__(
+        self,
+        specs: Iterable[QuerySpec] = (),
+        barriers: Iterable[str] = (),
+    ) -> None:
+        self._by_blocking: Dict[str, QuerySpec] = {}
+        self._by_submit: Dict[str, QuerySpec] = {}
+        self._barriers: Set[str] = set(barriers)
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: QuerySpec) -> None:
+        self._by_blocking[spec.blocking] = spec
+        self._by_submit[spec.submit] = spec
+
+    def register_barrier(self, method_name: str) -> None:
+        """Mark ``method_name`` as a transaction-scope barrier call."""
+        self._barriers.add(method_name)
+
+    def is_barrier(self, method_name: str) -> bool:
+        return method_name in self._barriers
+
+    def barriers(self) -> Set[str]:
+        return set(self._barriers)
+
+    def lookup(self, method_name: str) -> Optional[QuerySpec]:
+        """Spec whose *blocking* name matches, else None."""
+        return self._by_blocking.get(method_name)
+
+    def lookup_async(self, method_name: str) -> Optional[QuerySpec]:
+        """Spec whose *submit* name matches (generated code analysis)."""
+        return self._by_submit.get(method_name)
+
+    def specs(self) -> Iterable[QuerySpec]:
+        return list(self._by_blocking.values())
+
+    def copy(self) -> "QueryRegistry":
+        return QueryRegistry(self.specs(), barriers=self._barriers)
+
+    def with_effect(self, blocking_name: str, effect: str) -> "QueryRegistry":
+        """Copy with one call's external effect overridden.
+
+        ``registry.with_effect("execute_update", "commuting_write")`` is
+        how Experiment 4 declares its key-distinct INSERTs commutative.
+        """
+        clone = self.copy()
+        spec = clone._by_blocking.get(blocking_name)
+        if spec is None:
+            raise KeyError(f"no registered call named {blocking_name!r}")
+        clone.register(replace(spec, effect=effect))
+        return clone
+
+
+def default_registry() -> QueryRegistry:
+    """Registry covering the database client and the web-service client."""
+    return QueryRegistry(
+        [
+            QuerySpec("execute_query", "submit_query", "fetch_result",
+                      resource="db", effect="read"),
+            QuerySpec("execute_update", "submit_update", "fetch_result",
+                      resource="db", effect="write"),
+            QuerySpec("call", "submit_call", "fetch_result",
+                      resource="web", effect="read"),
+            QuerySpec("get_entity", "submit_get_entity", "fetch_result",
+                      resource="web", effect="read"),
+            QuerySpec("related", "submit_related", "fetch_result",
+                      resource="web", effect="read"),
+            QuerySpec("list_type", "submit_list_type", "fetch_result",
+                      resource="web", effect="read"),
+        ],
+        barriers=DEFAULT_BARRIERS,
+    )

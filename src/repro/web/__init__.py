@@ -1,0 +1,12 @@
+"""Simulated web service substrate (the paper's Freebase experiment).
+
+An in-process entity-graph service fronted by a client whose blocking
+``call`` / non-blocking ``submit_call`` + ``fetch_result`` mirror the
+database client API, so the same transformation rules apply — the point
+of the paper's Experiment 5.
+"""
+
+from .client import WebServiceClient
+from .service import EntityGraphService, WebLatency
+
+__all__ = ["WebServiceClient", "EntityGraphService", "WebLatency"]

@@ -1,0 +1,96 @@
+"""Web-service client with blocking and non-blocking call styles.
+
+``call`` is the blocking HTTP request of the original program;
+``submit_call``/``fetch_result`` are the asynchronous pair the
+transformed program uses.  The default transformation registry maps one
+to the other (see :mod:`repro.transform.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..runtime.executor import AsyncExecutor
+from ..runtime.handles import QueryHandle
+from .service import EntityGraphService
+
+
+@dataclass
+class WebClientStats:
+    blocking_calls: int = 0
+    async_submits: int = 0
+
+
+class WebServiceClient:
+    """Client for :class:`EntityGraphService` with async submission."""
+
+    def __init__(self, service: EntityGraphService, async_workers: int = 10) -> None:
+        self._service = service
+        self._executor = AsyncExecutor(async_workers, name="web-async")
+        self.stats = WebClientStats()
+
+    @property
+    def async_workers(self) -> int:
+        return self._executor.workers
+
+    def set_async_workers(self, workers: int) -> None:
+        self._executor.resize(workers)
+
+    # ------------------------------------------------------------------
+    # blocking API
+    # ------------------------------------------------------------------
+    def call(self, endpoint: str, *args: Any) -> Any:
+        """One blocking HTTP request: full round trip in this thread."""
+        self.stats.blocking_calls += 1
+        self._service.meter.charge("network", self._service.latency.request_rtt_s)
+        return self._service.submit_request(endpoint, *args).result()
+
+    # convenience wrappers used by the workloads -----------------------
+    def get_entity(self, entity_id: str) -> dict:
+        return self.call("get_entity", entity_id)
+
+    def related(self, entity_id: str, relation: str) -> list:
+        return self.call("related", entity_id, relation)
+
+    def list_type(self, entity_type: str) -> list:
+        return self.call("list_type", entity_type)
+
+    # ------------------------------------------------------------------
+    # non-blocking API
+    # ------------------------------------------------------------------
+    def submit_call(self, endpoint: str, *args: Any) -> QueryHandle:
+        """Non-blocking request submission; the round trip is paid by an
+        async worker thread."""
+        self.stats.async_submits += 1
+        self._service.meter.charge("queue", self._service.latency.send_overhead_s)
+
+        def task() -> Any:
+            self._service.meter.charge(
+                "network", self._service.latency.request_rtt_s
+            )
+            return self._service.submit_request(endpoint, *args).result()
+
+        return self._executor.submit(task, label=endpoint)
+
+    def submit_get_entity(self, entity_id: str) -> QueryHandle:
+        return self.submit_call("get_entity", entity_id)
+
+    def submit_related(self, entity_id: str, relation: str) -> QueryHandle:
+        return self.submit_call("related", entity_id, relation)
+
+    def submit_list_type(self, entity_type: str) -> QueryHandle:
+        return self.submit_call("list_type", entity_type)
+
+    def fetch_result(self, handle: QueryHandle) -> Any:
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self) -> "WebServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

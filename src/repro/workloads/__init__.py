@@ -1,0 +1,20 @@
+"""The paper's evaluation workloads, ported as Python loop kernels.
+
+Each module provides the *original* (blocking) kernels written against
+the :mod:`repro.client` / :mod:`repro.web` APIs, plus a data generator
+that builds the corresponding database.  The benchmark harness derives
+the *transformed* variants automatically with
+:func:`repro.transform.asyncify` — nothing async is hand-written here,
+which is the point of the paper.
+
+* :mod:`repro.workloads.rubis`     — Experiment 1, auction site (9 query loops)
+* :mod:`repro.workloads.rubbos`    — Experiment 2, bulletin board (8 loops, 2 recursive)
+* :mod:`repro.workloads.category`  — Experiment 3, category traversal
+* :mod:`repro.workloads.forms`     — Experiment 4, value range expansion
+* :mod:`repro.workloads.moviegraph`— Experiment 5, web-service traversal
+* :mod:`repro.workloads.paper_examples` — Examples 1–11 from the paper text
+"""
+
+from . import category, forms, moviegraph, paper_examples, rubbos, rubis
+
+__all__ = ["category", "forms", "moviegraph", "paper_examples", "rubbos", "rubis"]

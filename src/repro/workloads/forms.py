@@ -1,0 +1,95 @@
+"""Experiment 4 workload: value range expansion (INSERT loop).
+
+Forms are issued to agents in ranges ``(agent_id, start_form_number,
+end_form_number)``; the program expands every range into one
+``forms_master`` row per form so each form's status can be tracked
+individually.  An INSERT runs in the innermost loop — the transformed
+program submits the INSERTs asynchronously.
+
+Two things make this the paper's hardest applicability case:
+
+* the inner loop's counter increment follows the INSERT, so the
+  reordering algorithm must run before Rule A applies, and
+* INSERTs are external *writes*; Rule A's precondition (b) forbids
+  reordering them unless they are declared commutative.  Form numbers
+  are unique across ranges, so the inserts do commute — the benchmark
+  uses ``default_registry().with_effect("execute_update",
+  "commuting_write")`` to declare it, the paper's "more accurate
+  analysis of external writes" escape hatch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..db.database import Database
+from ..db.latency import INSTANT, LatencyProfile
+from ..transform.registry import QueryRegistry, default_registry
+
+INSERT_FORM_SQL = (
+    "INSERT INTO forms_master (form_no, agent_id, status) VALUES (?, ?, 0)"
+)
+
+
+def commuting_registry() -> QueryRegistry:
+    """Registry declaring the INSERTs commutative (distinct form keys)."""
+    return default_registry().with_effect("execute_update", "commuting_write")
+
+
+def build_database(
+    profile: LatencyProfile = INSTANT, rows_per_page: int = 128, **db_kwargs
+) -> Database:
+    db = Database(profile, **db_kwargs)
+    db.create_table(
+        "forms_master",
+        ("form_no", "int"), ("agent_id", "int"), ("status", "int"),
+        rows_per_page=rows_per_page,
+    )
+    db.create_table(
+        "form_issues",
+        ("agent_id", "int"), ("start_no", "int"), ("end_no", "int"),
+    )
+    return db
+
+
+def issue_batch(
+    total_forms: int, range_size: int = 50, seed: int = 41
+) -> List[Tuple[int, int, int]]:
+    """Issue records covering ``total_forms`` forms in disjoint ranges."""
+    rng = random.Random(seed)
+    issues = []
+    next_form = 0
+    while next_form < total_forms:
+        size = min(range_size, total_forms - next_form)
+        issues.append((rng.randrange(500), next_form, next_form + size - 1))
+        next_form += size
+    return issues
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+
+def expand_form_ranges(conn, issues):
+    """The Experiment 4 loop: INSERT one row per form number.
+
+    The outer loop iterates issue records; the inner loop expands the
+    range.  The increment after the INSERT forces statement reordering;
+    the nested-loop rule then splits both levels.
+    """
+    inserted = 0
+    for issue in issues:
+        agent_id = issue[0]
+        form_no = issue[1]
+        last_no = issue[2]
+        while form_no <= last_no:
+            conn.execute_update(INSERT_FORM_SQL, [form_no, agent_id])
+            form_no = form_no + 1
+            inserted = inserted + 1
+    return inserted
+
+
+def loaded_form_count(db: Database) -> int:
+    return len(db.catalog.table("forms_master").heap)

@@ -1,0 +1,97 @@
+"""Experiment 5 workload: web-service entity-graph traversal.
+
+The paper's client fetches directors, their movies and their actors
+from Freebase over JSON/HTTP — no joins, no set-oriented API, so a query
+loop per relationship is unavoidable.  We traverse a synthetic movie
+graph served by :class:`repro.web.EntityGraphService`; the kernels use
+the blocking ``get_entity``/``related`` client calls, which the default
+registry maps to their submit/fetch pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..db.latency import LatencyMeter
+from ..web.service import INSTANT_WEB, EntityGraphService, WebLatency
+
+
+def build_service(
+    latency: WebLatency = INSTANT_WEB,
+    directors: int = 12,
+    actors_per_director: int = 20,
+    movies_per_actor: int = 4,
+    seed: int = 53,
+) -> EntityGraphService:
+    """A movie graph: directors -> actors -> movies (240 actor edges by
+    default, matching the paper's 240 iterations)."""
+    rng = random.Random(seed)
+    service = EntityGraphService(latency)
+    movie_counter = 0
+    actor_counter = 0
+    for d in range(directors):
+        director_id = f"dir{d}"
+        service.add_entity(director_id, "director", f"Director {d}",
+                           oscars=rng.randint(0, 3))
+        for _a in range(actors_per_director):
+            actor_id = f"act{actor_counter}"
+            actor_counter += 1
+            service.add_entity(actor_id, "actor", f"Actor {actor_id}",
+                               age=rng.randint(20, 80))
+            service.add_edge(director_id, "worked_with", actor_id)
+            for _m in range(movies_per_actor):
+                movie_id = f"mov{movie_counter}"
+                movie_counter += 1
+                service.add_entity(movie_id, "movie", f"Movie {movie_id}",
+                                   year=rng.randint(1970, 2010))
+                service.add_edge(actor_id, "acted_in", movie_id)
+    return service
+
+
+def director_actors(client, director_id: str) -> List[str]:
+    """Blocking prefix step: the actor list for one director."""
+    return client.related(director_id, "worked_with")
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+
+def collect_filmographies(client, actor_ids):
+    """The Experiment 5 loop: one HTTP request per actor.
+
+    Transformed, the requests overlap and the per-request Internet
+    round trip is paid once per *batch* of in-flight calls rather than
+    once per iteration.
+    """
+    films = []
+    for actor_id in actor_ids:
+        entity = client.get_entity(actor_id)
+        movie_ids = entity["edges"].get("acted_in", [])
+        films.append((actor_id, entity["name"], len(movie_ids)))
+    return films
+
+
+def movie_years(client, movie_ids):
+    """Second-level traversal: release year per movie."""
+    years = []
+    for movie_id in movie_ids:
+        movie = client.get_entity(movie_id)
+        years.append(movie["properties"].get("year"))
+    return years
+
+
+def actor_movie_listing(client, director_id):
+    """Full mashup: actors of a director, then each actor's movies.
+
+    The actor list feeds the loop, so the ``related`` call stays
+    blocking; the per-actor ``get_entity`` calls transform.
+    """
+    actor_ids = client.related(director_id, "worked_with")
+    listing = []
+    for actor_id in actor_ids:
+        entity = client.get_entity(actor_id)
+        listing.append((entity["name"], entity["edges"].get("acted_in", [])))
+    return listing

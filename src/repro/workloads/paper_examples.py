@@ -1,0 +1,147 @@
+"""The paper's running examples (1, 2, 4, 5, 6, 8, 9, 10, 11) as code.
+
+Each example is a plain function written against the client API, named
+after its number in the paper; tests transform them and assert both the
+structural properties the paper derives (which statements move, which
+stay blocking) and observational equivalence against the original.
+"""
+
+from __future__ import annotations
+
+#: Example 1 — a simple opportunity: computation independent of the query.
+EXAMPLE_1 = '''
+def example_1(conn, x):
+    r = conn.execute_query("SELECT count(*) FROM part WHERE category_id = ?", [x])
+    s = foo(x)
+    return bar(r.scalar(), s)
+'''
+
+#: Example 2 — hidden opportunity: the result is consumed immediately
+#: inside a while loop draining a worklist.
+EXAMPLE_2 = '''
+def example_2(conn, category_list):
+    qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+    total = 0
+    while len(category_list) > 0:
+        category = category_list.pop()
+        qt.bind(1, category)
+        part_count = conn.execute_query(qt)
+        total += part_count.scalar()
+    return total
+'''
+
+#: Example 4 — query under a conditional: Rule B then Rule A.
+EXAMPLE_4 = '''
+def example_4(conn, n):
+    out = []
+    for i in range(n):
+        v = foo(i)
+        if v == 0:
+            v = conn.execute_query("SELECT max(size) FROM part WHERE category_id = ?", [i]).scalar()
+            log(v)
+        out.append(v)
+    return out
+'''
+
+#: Example 5 — nested loops: inner fission, then outer fission with a
+#: nested record table.
+EXAMPLE_5 = '''
+def example_5(conn, groups):
+    results = []
+    for group in groups:
+        for item in group:
+            x = conn.execute_query("SELECT size FROM part WHERE part_key = ?", [item])
+            results.append(x.scalar())
+    return results
+'''
+
+#: Example 6 — loop fission blocked by loop-carried dependences until
+#: the statements are reordered (becomes Example 7 after reordering).
+EXAMPLE_6 = '''
+def example_6(conn, category):
+    qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+    total = 0
+    while category is not None:
+        qt.bind(1, category)
+        part_count = conn.execute_query(qt)
+        total += part_count.scalar()
+        category = get_parent_category(category)
+    return total
+'''
+
+#: Example 8 — reordering illustration 1: the query must move past the
+#: parent-pointer update, which requires a reader stub for ``category``.
+EXAMPLE_8 = '''
+def example_8(conn, category):
+    total = 0
+    while category is not None:
+        icount = conn.execute_query("SELECT count(*) FROM part WHERE category_id = ?", [category]).scalar()
+        total = total + icount
+        category = get_parent_category(category)
+    return total
+'''
+
+#: Example 9 — reordering illustration 2: explicit-stack DFS; the stack
+#: update after the query moves before it.
+EXAMPLE_9 = '''
+def example_9(conn, children, roots):
+    stack = list(roots)
+    total = 0
+    while len(stack) > 0:
+        current = stack.pop()
+        catitems = conn.execute_query("SELECT count(*) FROM part WHERE category_id = ?", [current]).scalar()
+        total = total + catitems
+        kids = children.get(current, [])
+        stack.extend(kids)
+    return total
+'''
+
+#: Example 10 — reordering illustration 3: guarded statements with anti
+#: and output dependences; the paper's four stubs (b2, b5, a3, a1).
+EXAMPLE_10 = '''
+def example_10(conn, c, x, n):
+    d = 0
+    a = 0
+    b = 0
+    k = 0
+    while k < n:
+        k = k + 1
+        cv1 = pred1(c)
+        cv2 = pred2(c)
+        cv3 = pred3(c)
+        if cv1:
+            a = conn.execute_query("SELECT count(*) FROM part WHERE category_id = ?", [b]).scalar()
+        if cv2:
+            a, c = f(x)
+        d = g(a, b)
+        if cv3:
+            a, b = h(c)
+    return d, a, b, c
+'''
+
+#: Example 11 — cyclic true-dependences: the first query feeds itself
+#: through ``eid = mgr`` and must stay blocking; the second transforms.
+#: (``idx or 0`` guards the chain top, where the rating lookup comes
+#: back empty — SQL's NULL-absorbing ``+=`` has no Python analog.)
+EXAMPLE_11 = '''
+def example_11(conn, eid):
+    sumidx = 0
+    while eid is not None:
+        mgr = conn.execute_query("SELECT manager FROM emp WHERE empid = ?", [eid]).scalar()
+        idx = conn.execute_query("SELECT perfindex FROM rating WHERE reviewer = ? AND reviewed = ?", [mgr, eid]).scalar()
+        sumidx += idx or 0
+        eid = mgr
+    return sumidx
+'''
+
+ALL_EXAMPLES = {
+    1: EXAMPLE_1,
+    2: EXAMPLE_2,
+    4: EXAMPLE_4,
+    5: EXAMPLE_5,
+    6: EXAMPLE_6,
+    8: EXAMPLE_8,
+    9: EXAMPLE_9,
+    10: EXAMPLE_10,
+    11: EXAMPLE_11,
+}

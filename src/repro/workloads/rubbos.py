@@ -1,0 +1,195 @@
+"""Experiment 2 workload: the RUBBoS-style bulletin board.
+
+RUBBoS models slashdot.org: stories, comments and users.  The measured
+scenario lists the top stories of the day together with the users who
+posted them.  The application has eight query loops; two of them sit in
+*recursive* comment-tree walks, which the transformation rules cannot
+handle — the paper's Table I reports 6/8 (75%) applicability for this
+application, and the analyzer reproduces exactly that split.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..db.database import Database
+from ..db.latency import INSTANT, LatencyProfile
+
+AUTHOR_SQL = "SELECT name, karma FROM users WHERE user_id = ?"
+STORY_SQL = "SELECT title, author_id, views FROM stories WHERE story_id = ?"
+STORY_COMMENTS_SQL = "SELECT count(*) FROM comments WHERE story_id = ?"
+CHILD_COMMENTS_SQL = "SELECT comment_id FROM comments WHERE parent_id = ?"
+COMMENT_RATING_SQL = "SELECT rating FROM comments WHERE comment_id = ?"
+USER_STORIES_SQL = "SELECT count(*) FROM stories WHERE author_id = ?"
+MODERATION_SQL = "SELECT rating FROM comments WHERE comment_id = ?"
+
+
+# ----------------------------------------------------------------------
+# data generation
+# ----------------------------------------------------------------------
+
+
+def build_database(
+    profile: LatencyProfile = INSTANT,
+    users: int = 15_000,
+    stories: int = 10_000,
+    comments: int = 25_000,
+    seed: int = 23,
+    **db_kwargs,
+) -> Database:
+    rng = random.Random(seed)
+    db = Database(profile, **db_kwargs)
+    db.create_table(
+        "users", ("user_id", "int"), ("name", "text"), ("karma", "int")
+    )
+    db.create_table(
+        "stories",
+        ("story_id", "int"), ("title", "text"), ("author_id", "int"),
+        ("views", "int"), ("day", "int"),
+    )
+    db.create_table(
+        "comments",
+        ("comment_id", "int"), ("story_id", "int"), ("parent_id", "int"),
+        ("author_id", "int"), ("rating", "int"),
+    )
+    db.bulk_load(
+        "users",
+        ((uid, f"user-{uid}", rng.randint(-10, 50)) for uid in range(users)),
+    )
+    db.bulk_load(
+        "stories",
+        (
+            (sid, f"story-{sid}", rng.randrange(users), rng.randint(0, 90_000),
+             rng.randrange(30))
+            for sid in range(stories)
+        ),
+    )
+    db.bulk_load(
+        "comments",
+        (
+            (
+                cid,
+                rng.randrange(stories),
+                # Shallow trees: most comments are roots (parent -1).
+                cid - rng.randint(1, 40) if cid > 40 and rng.random() < 0.5 else -1,
+                rng.randrange(users),
+                rng.randint(-1, 5),
+            )
+            for cid in range(comments)
+        ),
+    )
+    db.create_index("idx_b_users", "users", "user_id", unique=True)
+    db.create_index("idx_b_stories", "stories", "story_id", unique=True)
+    db.create_index("idx_b_story_author", "stories", "author_id")
+    db.create_index("idx_b_comments_story", "comments", "story_id")
+    db.create_index("idx_b_comments_parent", "comments", "parent_id")
+    db.create_index("idx_b_comments_id", "comments", "comment_id", unique=True)
+    return db
+
+
+def story_batch(db: Database, count: int, seed: int = 5) -> List[int]:
+    rng = random.Random(seed)
+    stories = len(db.catalog.table("stories").heap)
+    return [rng.randrange(stories) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# eight query loops (Table I: 8 opportunities, 6 transformed)
+# ----------------------------------------------------------------------
+
+
+def top_stories_of_day(conn, story_ids):
+    """1. The measured Experiment 2 loop: story + poster details."""
+    listing = []
+    for story_id in story_ids:
+        story = conn.execute_query(STORY_SQL, [story_id])
+        author = conn.execute_query(AUTHOR_SQL, [story[0][1]])
+        listing.append((story_id, story[0][0], author[0][0], story[0][2]))
+    return listing
+
+
+def story_comment_counts(conn, story_ids):
+    """2. Comment counters on the front page."""
+    counts = []
+    for story_id in story_ids:
+        count = conn.execute_query(STORY_COMMENTS_SQL, [story_id]).scalar()
+        counts.append((story_id, count))
+    return counts
+
+
+def author_karma_sweep(conn, author_ids):
+    """3. Worklist sweep over authors (``while`` + pop)."""
+    total = 0
+    while len(author_ids) > 0:
+        author_id = author_ids.pop()
+        row = conn.execute_query(AUTHOR_SQL, [author_id])
+        total += row[0][1]
+    return total
+
+
+def moderation_queue(conn, comment_ids, threshold):
+    """4. Guarded moderation pass."""
+    flagged = []
+    for comment_id in comment_ids:
+        rating = conn.execute_query(MODERATION_SQL, [comment_id]).scalar()
+        if rating is not None and rating < threshold:
+            flagged.append(comment_id)
+    return flagged
+
+
+def prolific_authors(conn, author_ids, minimum):
+    """5. Story counts per author with a running filter."""
+    prolific = []
+    for author_id in author_ids:
+        count = conn.execute_query(USER_STORIES_SQL, [author_id]).scalar()
+        if count >= minimum:
+            prolific.append((author_id, count))
+    return prolific
+
+
+def comment_ratings(conn, comment_ids):
+    """6. Ratings for a flat list of comments."""
+    ratings = []
+    for comment_id in comment_ids:
+        rating = conn.execute_query(COMMENT_RATING_SQL, [comment_id]).scalar()
+        ratings.append(rating)
+    return ratings
+
+
+def expand_thread(conn, comment_ids, depth):
+    """7. RECURSIVE comment-tree expansion — not transformable (the
+    query loop re-invokes this function; the paper's bulletin-board
+    blockers are exactly such recursive walks)."""
+    thread = []
+    for comment_id in comment_ids:
+        thread.append(comment_id)
+        if depth > 0:
+            children = conn.execute_query(CHILD_COMMENTS_SQL, [comment_id])
+            child_ids = [child[0] for child in children]
+            thread.extend(expand_thread(conn, child_ids, depth - 1))
+    return thread
+
+
+def count_subtree(conn, comment_ids, depth):
+    """8. RECURSIVE subtree size — the second non-transformable loop."""
+    total = 0
+    for comment_id in comment_ids:
+        total += 1
+        if depth > 0:
+            children = conn.execute_query(CHILD_COMMENTS_SQL, [comment_id])
+            child_ids = [child[0] for child in children]
+            total += count_subtree(conn, child_ids, depth - 1)
+    return total
+
+
+QUERY_LOOPS = [
+    top_stories_of_day,
+    story_comment_counts,
+    author_karma_sweep,
+    moderation_queue,
+    prolific_authors,
+    comment_ratings,
+    expand_thread,
+    count_subtree,
+]

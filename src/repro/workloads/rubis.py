@@ -1,0 +1,223 @@
+"""Experiment 1 workload: the RUBiS-style auction site.
+
+RUBiS models ebay.com: users, items, bids and comments.  The paper's
+headline loop iterates over a collection of comments, loading the author
+of each — the classic N+1 query pattern.  Nine query loops (the paper's
+Table I counts nine opportunities in the auction application, all nine
+transformable) are provided; each is a plain blocking kernel that the
+transformation engine rewrites automatically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.latency import INSTANT, LatencyProfile
+
+AUTHOR_SQL = "SELECT name, rating FROM users WHERE user_id = ?"
+ITEM_SQL = "SELECT name, seller_id, price FROM items WHERE item_id = ?"
+MAX_BID_SQL = "SELECT max(amount) FROM bids WHERE item_id = ?"
+BID_COUNT_SQL = "SELECT count(*) FROM bids WHERE item_id = ?"
+USER_COMMENTS_SQL = "SELECT count(*) FROM comments WHERE to_user = ?"
+SELLER_RATING_SQL = "SELECT rating FROM users WHERE user_id = ?"
+REGION_USERS_SQL = "SELECT count(*) FROM users WHERE region_id = ?"
+CATEGORY_ITEMS_SQL = "SELECT count(*) FROM items WHERE category_id = ?"
+ITEM_PRICE_SQL = "SELECT price FROM items WHERE item_id = ?"
+
+
+# ----------------------------------------------------------------------
+# data generation
+# ----------------------------------------------------------------------
+
+
+def build_database(
+    profile: LatencyProfile = INSTANT,
+    users: int = 20_000,
+    items: int = 8_000,
+    comments: int = 30_000,
+    bids: int = 24_000,
+    regions: int = 60,
+    categories: int = 40,
+    seed: int = 11,
+    **db_kwargs,
+) -> Database:
+    """Build the auction database (sizes scaled from the paper's 1M/600k)."""
+    rng = random.Random(seed)
+    db = Database(profile, **db_kwargs)
+    db.create_table(
+        "users",
+        ("user_id", "int"), ("name", "text"), ("rating", "int"),
+        ("region_id", "int"),
+    )
+    db.create_table(
+        "items",
+        ("item_id", "int"), ("name", "text"), ("seller_id", "int"),
+        ("price", "int"), ("category_id", "int"),
+    )
+    db.create_table(
+        "comments",
+        ("comment_id", "int"), ("from_user", "int"), ("to_user", "int"),
+        ("item_id", "int"), ("rating", "int"),
+    )
+    db.create_table(
+        "bids",
+        ("bid_id", "int"), ("item_id", "int"), ("user_id", "int"),
+        ("amount", "int"),
+    )
+    db.bulk_load(
+        "users",
+        (
+            (uid, f"user-{uid}", rng.randint(-5, 5), rng.randrange(regions))
+            for uid in range(users)
+        ),
+    )
+    db.bulk_load(
+        "items",
+        (
+            (iid, f"item-{iid}", rng.randrange(users), rng.randint(1, 5_000),
+             rng.randrange(categories))
+            for iid in range(items)
+        ),
+    )
+    db.bulk_load(
+        "comments",
+        (
+            (cid, rng.randrange(users), rng.randrange(users),
+             rng.randrange(items), rng.randint(-5, 5))
+            for cid in range(comments)
+        ),
+    )
+    db.bulk_load(
+        "bids",
+        (
+            (bid, rng.randrange(items), rng.randrange(users),
+             rng.randint(1, 10_000))
+            for bid in range(bids)
+        ),
+    )
+    db.create_index("idx_users_id", "users", "user_id", unique=True)
+    db.create_index("idx_users_region", "users", "region_id")
+    db.create_index("idx_items_id", "items", "item_id", unique=True)
+    db.create_index("idx_items_cat", "items", "category_id")
+    db.create_index("idx_comments_to", "comments", "to_user")
+    db.create_index("idx_bids_item", "bids", "item_id")
+    return db
+
+
+def comment_batch(db: Database, count: int, seed: int = 7) -> List[Tuple[int, int]]:
+    """(comment_id, from_user) pairs driving the Experiment 1 loop."""
+    rng = random.Random(seed)
+    users = len(db.catalog.table("users").heap)
+    return [(index, rng.randrange(users)) for index in range(count)]
+
+
+# ----------------------------------------------------------------------
+# the nine query loops (paper Table I: 9 opportunities, 9 transformed)
+# ----------------------------------------------------------------------
+
+
+def load_comment_authors(conn, comments):
+    """1. The headline Experiment 1 loop: author info per comment."""
+    authors = []
+    for comment in comments:
+        row = conn.execute_query(AUTHOR_SQL, [comment[1]])
+        authors.append((comment[0], row[0][0], row[0][1]))
+    return authors
+
+
+def load_item_details(conn, item_ids):
+    """2. Item page: details for each item in a listing."""
+    details = []
+    for item_id in item_ids:
+        row = conn.execute_query(ITEM_SQL, [item_id])
+        details.append((item_id, row[0][0], row[0][2]))
+    return details
+
+
+def max_bids_for_items(conn, item_ids):
+    """3. Bid box: current maximum bid per item."""
+    maxima = []
+    for item_id in item_ids:
+        amount = conn.execute_query(MAX_BID_SQL, [item_id]).scalar()
+        maxima.append((item_id, amount))
+    return maxima
+
+
+def bid_activity(conn, item_ids):
+    """4. Activity report: bid counts per item, accumulated."""
+    total = 0
+    for item_id in item_ids:
+        count = conn.execute_query(BID_COUNT_SQL, [item_id]).scalar()
+        total += count
+    return total
+
+
+def comment_counts_while(conn, user_list):
+    """5. Paper Example 2 shape: a ``while`` loop draining a worklist."""
+    total = 0
+    while len(user_list) > 0:
+        user_id = user_list.pop()
+        count = conn.execute_query(USER_COMMENTS_SQL, [user_id]).scalar()
+        total += count
+    return total
+
+
+def flag_risky_sellers(conn, item_ids, threshold):
+    """6. Guarded query (paper Example 4 shape): only look up sellers of
+    expensive items."""
+    risky = []
+    for item_id in item_ids:
+        price = conn.execute_query(ITEM_PRICE_SQL, [item_id]).scalar()
+        if price is not None and price > threshold:
+            seller_row = conn.execute_query(ITEM_SQL, [item_id])
+            rating = conn.execute_query(SELLER_RATING_SQL, [seller_row[0][1]]).scalar()
+            if rating is not None and rating < 0:
+                risky.append(item_id)
+    return risky
+
+
+def region_user_counts(conn, region_ids):
+    """7. Admin dashboard: user population per region."""
+    counts = []
+    for region_id in region_ids:
+        count = conn.execute_query(REGION_USERS_SQL, [region_id]).scalar()
+        counts.append((region_id, count))
+    return counts
+
+
+def category_item_counts(conn, category_ids):
+    """8. Browse page: item counts per category."""
+    counts = []
+    for category_id in category_ids:
+        count = conn.execute_query(CATEGORY_ITEMS_SQL, [category_id]).scalar()
+        counts.append((category_id, count))
+    return counts
+
+
+def best_deal(conn, item_ids):
+    """9. Bargain finder: a guarded running minimum accumulated across
+    iterations (loop-carried state that stays on the fetch side)."""
+    best_price = None
+    best_item = None
+    for item_id in item_ids:
+        price = conn.execute_query(ITEM_PRICE_SQL, [item_id]).scalar()
+        if price is not None and (best_price is None or price < best_price):
+            best_price = price
+            best_item = item_id
+    return best_item, best_price
+
+
+#: Every transformable loop of the application (Table I numerator).
+QUERY_LOOPS = [
+    load_comment_authors,
+    load_item_details,
+    max_bids_for_items,
+    bid_activity,
+    comment_counts_while,
+    flag_risky_sellers,
+    region_user_counts,
+    category_item_counts,
+    best_deal,
+]

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, INSTANT
+
+
+@pytest.fixture
+def db():
+    """A fresh zero-latency database, closed after the test."""
+    database = Database(INSTANT)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def part_db():
+    """A small loaded 'part' table with a category index."""
+    database = Database(INSTANT)
+    database.create_table(
+        "part", ("part_key", "int"), ("category_id", "int"), ("size", "int"),
+        rows_per_page=16,
+    )
+    database.bulk_load(
+        "part", [(i, i % 7, (i * 37) % 1000) for i in range(500)]
+    )
+    database.create_index("idx_part_cat", "part", "category_id")
+    yield database
+    database.close()

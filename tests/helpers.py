@@ -1,0 +1,189 @@
+"""Shared test helpers: deterministic fake connections and tiny DBs.
+
+``FakeConnection`` implements the full blocking + async client protocol
+against a deterministic in-memory "database" (a pure function of the
+query text and parameters) while logging every call.  Transformation
+tests execute original and rewritten programs against it and compare
+results, final state and the *multiset* of issued queries (order may
+legitimately change for reordered/concurrent submissions).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.handles import QueryHandle, completed_handle, failed_handle
+
+
+def default_answer(query: Any, params: Tuple) -> int:
+    """A deterministic, order-insensitive 'query result'."""
+    text = str(query)
+    total = sum(ord(ch) for ch in text) % 97
+    for value in params:
+        total = (total * 31 + hash(value)) % 10_007
+    return total
+
+
+class FakeResult:
+    """Quacks like QueryResult for the common consumption patterns."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.rows = [(value,)]
+
+    def scalar(self) -> Any:
+        return self.value
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FakeResult) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FakeResult({self.value!r})"
+
+
+class FakePrepared:
+    """Client-side prepared query stand-in with 1-based bind."""
+
+    def __init__(self, sql: str, param_count: int = 8) -> None:
+        self.sql = sql
+        self._params: List[Any] = [None] * param_count
+
+    def bind(self, position: int, value: Any) -> "FakePrepared":
+        self._params[position - 1] = value
+        return self
+
+    def snapshot(self) -> Tuple:
+        return tuple(value for value in self._params if value is not None)
+
+
+class FakeConnection:
+    """Deterministic connection with blocking and async call styles.
+
+    ``threaded=True`` runs submissions on a real thread pool (exercises
+    genuine concurrency); the default resolves them eagerly, which keeps
+    hypothesis runs fast and reproducible.
+    """
+
+    def __init__(
+        self,
+        answer: Callable[[Any, Tuple], Any] = default_answer,
+        threaded: bool = False,
+        workers: int = 4,
+        fail_on: Optional[Callable[[Any, Tuple], bool]] = None,
+    ) -> None:
+        self._answer = answer
+        self._fail_on = fail_on
+        self.calls: List[Tuple[str, str, Tuple]] = []
+        self.updates: List[Tuple[str, Tuple]] = []
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=workers) if threaded else None
+
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> FakePrepared:
+        return FakePrepared(sql)
+
+    def _run(self, kind: str, query: Any, params: Tuple) -> Any:
+        if isinstance(query, FakePrepared):
+            sql, bound = query.sql, (params or query.snapshot())
+        else:
+            sql, bound = str(query), tuple(params)
+        with self._lock:
+            self.calls.append((kind, sql, bound))
+        if self._fail_on is not None and self._fail_on(sql, bound):
+            raise RuntimeError(f"injected failure for {sql!r} {bound!r}")
+        if kind == "update":
+            with self._lock:
+                self.updates.append((sql, bound))
+            return FakeResult(1)
+        return FakeResult(self._answer(sql, bound))
+
+    # blocking ----------------------------------------------------------
+    def execute_query(self, query: Any, params: Sequence = ()) -> FakeResult:
+        return self._run("query", query, tuple(params))
+
+    def execute_update(self, query: Any, params: Sequence = ()) -> FakeResult:
+        return self._run("update", query, tuple(params))
+
+    # async -------------------------------------------------------------
+    def submit_query(self, query: Any, params: Sequence = ()) -> QueryHandle:
+        if isinstance(query, FakePrepared):
+            # Snapshot bind state NOW (submit-time semantics): the
+            # transformed loops rebind the same prepared object.
+            snapshot = FakePrepared(query.sql)
+            snapshot._params = list(query._params)
+            query = snapshot
+        return self._submit("query", query, tuple(params))
+
+    def submit_update(self, query: Any, params: Sequence = ()) -> QueryHandle:
+        return self._submit("update", query, tuple(params))
+
+    def _submit(self, kind: str, query: Any, params: Tuple) -> QueryHandle:
+        if self._pool is None:
+            try:
+                return completed_handle(self._run(kind, query, params))
+            except Exception as exc:  # surfaces at fetch, like the real client
+                return failed_handle(exc)
+        return QueryHandle(self._pool.submit(self._run, kind, query, params))
+
+    def fetch_result(self, handle: QueryHandle) -> Any:
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    def query_multiset(self) -> dict:
+        counts: dict = {}
+        for kind, sql, bound in self.calls:
+            key = (kind, sql, bound)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+
+def run_both(
+    source: str,
+    func_name: str,
+    args_factory: Callable[[], tuple],
+    registry=None,
+    purity=None,
+    window: Optional[int] = None,
+    threaded: bool = False,
+):
+    """Compile+run the original and transformed versions of ``source``.
+
+    Returns ``(original_result, transformed_result, orig_conn,
+    trans_conn, transform_result)``.  The caller asserts equality of
+    whatever matters for the program at hand.
+    """
+    import ast
+
+    from repro.transform import asyncify_source
+
+    namespace_orig: dict = {}
+    exec(compile(source, "<orig>", "exec"), namespace_orig)
+    original = namespace_orig[func_name]
+
+    result = asyncify_source(source, registry=registry, purity=purity, window=window)
+    namespace_new: dict = {}
+    exec(compile(result.source, "<transformed>", "exec"), namespace_new)
+    transformed = namespace_new[func_name]
+
+    conn_a = FakeConnection(threaded=threaded)
+    conn_b = FakeConnection(threaded=threaded)
+    out_a = original(conn_a, *args_factory())
+    out_b = transformed(conn_b, *args_factory())
+    conn_a.close()
+    conn_b.close()
+    return out_a, out_b, conn_a, conn_b, result

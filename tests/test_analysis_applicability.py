@@ -1,0 +1,124 @@
+"""Unit tests: the Table I applicability analyzer."""
+
+import pytest
+
+from repro.analysis.applicability import (
+    ApplicabilityReport,
+    OpportunityRow,
+    analyze_functions,
+    analyze_source,
+    format_table_one,
+)
+from repro.transform.errors import REASON_RECURSION, REASON_TRUE_CYCLE
+
+
+class TestAnalyzeSource:
+    def test_counts_loops_not_queries(self):
+        report = analyze_source(
+            """
+def two_queries_one_loop(conn, items):
+    out = []
+    for item in items:
+        a = conn.execute_query("qa", [item])
+        b = conn.execute_query("qb", [item])
+        out.append((a, b))
+    return out
+""",
+            "app",
+        )
+        assert report.opportunities == 1
+        assert report.transformed == 1
+
+    def test_mixed_outcomes(self):
+        report = analyze_source(
+            """
+def good(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r)
+    return out
+
+def cyclic(conn, seed):
+    v = seed
+    total = 0
+    while v is not None:
+        v = conn.execute_query("q", [v]).scalar()
+        total += 1
+    return total
+
+def recursive(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.extend(recursive(conn, r.rows))
+    return out
+""",
+            "app",
+        )
+        assert report.opportunities == 3
+        assert report.transformed == 1
+        reasons = {reason for row in report.rows for reason in row.reasons}
+        assert REASON_TRUE_CYCLE in reasons
+        assert REASON_RECURSION in reasons
+
+    def test_percent(self):
+        report = ApplicabilityReport(
+            "x",
+            [
+                OpportunityRow("f", 1, "for", True),
+                OpportunityRow("g", 2, "for", False, ["why"]),
+            ],
+        )
+        assert report.applicability_percent == 50.0
+
+    def test_empty_report(self):
+        report = ApplicabilityReport("x", [])
+        assert report.applicability_percent == 0.0
+        assert report.opportunities == 0
+
+    def test_details_text(self):
+        report = analyze_source(
+            """
+def good(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r)
+    return out
+""",
+            "myapp",
+        )
+        text = report.details()
+        assert "myapp" in text
+        assert "good" in text
+
+
+class TestFormatTable:
+    def test_table_shape(self):
+        reports = [
+            ApplicabilityReport(
+                "Auction",
+                [OpportunityRow("f", 1, "for", True)] * 9,
+            ),
+            ApplicabilityReport(
+                "Bulletin Board",
+                [OpportunityRow("f", 1, "for", True)] * 6
+                + [OpportunityRow("g", 2, "for", False, ["recursive-call"])] * 2,
+            ),
+        ]
+        text = format_table_one(reports)
+        lines = text.splitlines()
+        assert "Application" in lines[0]
+        assert "Auction" in text
+        assert "100" in text
+        assert "75" in text
+
+
+class TestAnalyzeFunctions:
+    def test_roundtrip_through_inspect(self):
+        from repro.workloads import rubis
+
+        report = analyze_functions([rubis.load_comment_authors], "one")
+        assert report.opportunities == 1
+        assert report.transformed == 1

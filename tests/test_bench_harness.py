@@ -1,0 +1,123 @@
+"""Unit tests: benchmark harness containers and a fast smoke of the
+figure runners at tiny parameters."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import FigureData, bench_scale, full_mode, measure
+from repro.db.latency import INSTANT
+
+
+class TestFigureData:
+    def make(self):
+        figure = FigureData("figX", "a title", "iterations")
+        a = figure.new_series("orig")
+        b = figure.new_series("trans")
+        a.add(10, 2.0)
+        a.add(100, 20.0)
+        b.add(10, 1.0)
+        b.add(100, 4.0)
+        return figure
+
+    def test_xs_union(self):
+        assert self.make().xs() == [10, 100]
+
+    def test_speedup(self):
+        figure = self.make()
+        assert figure.speedup("orig", "trans", 100) == pytest.approx(5.0)
+        assert figure.speedup("orig", "trans", 999) is None
+        assert figure.speedup("orig", "missing", 10) is None
+
+    def test_format_table(self):
+        text = self.make().format()
+        assert "figX" in text
+        assert "orig" in text and "trans" in text
+        assert "10" in text and "100" in text
+
+    def test_series_at(self):
+        figure = self.make()
+        assert figure.series[0].at(10) == 2.0
+        assert figure.series[0].at(11) is None
+
+    def test_measure(self):
+        value, seconds = measure(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0
+
+
+class TestEnvKnobs:
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_bench_scale_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25
+
+    def test_bench_scale_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale() == 1.0
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not full_mode()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert full_mode()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not full_mode()
+
+
+class TestFigureRunnersSmoke:
+    """Tiny-parameter runs: correctness of the sweeps, not timing."""
+
+    def test_fig08_smoke(self):
+        from repro.bench import figures
+
+        figure = figures.run_fig08(
+            iterations=(2, 4), cold_iterations=(2,), threads=2,
+            profile=INSTANT,
+        )
+        assert len(figure.xs()) == 2
+        assert len(figure.series) == 4
+
+    def test_fig12_smoke(self):
+        from repro.bench import figures
+
+        figure = figures.run_fig12(
+            iterations=(1, 11), threads=2, profile=INSTANT, parts=800
+        )
+        assert figure.xs() == [1, 11]
+
+    def test_fig14_smoke(self):
+        from repro.bench import figures
+
+        figure = figures.run_fig14(totals=(10, 30), threads=2, profile=INSTANT)
+        assert figure.xs() == [10, 30]
+
+    def test_fig15_smoke(self):
+        from repro.bench import figures
+
+        figure = figures.run_fig15(threads_grid=(1, 2), iterations=20)
+        assert figure.xs() == [1, 2]
+
+    def test_table1_smoke(self):
+        from repro.bench import figures
+
+        text, reports = figures.run_table1()
+        assert "Auction" in text
+        assert reports[0].transformed == 9
+
+    def test_transform_time_smoke(self):
+        from repro.bench import figures
+
+        figure = figures.run_transform_time()
+        assert all(seconds < 1.0 for _x, seconds in figure.series[0].points)
+
+    def test_ablation_reorder_smoke(self):
+        from repro.bench import figures
+
+        _text, counts = figures.run_ablation_reorder()
+        assert counts["transformed_with_reorder"] > counts[
+            "transformed_without_reorder"
+        ]

@@ -1,0 +1,148 @@
+"""Unit tests: the client connection (blocking + async API)."""
+
+import pytest
+
+from repro.db import Database, INSTANT
+from repro.db.errors import DatabaseError
+
+
+@pytest.fixture
+def loaded(db):
+    db.create_table("part", ("part_key", "int"), ("category_id", "int"))
+    db.bulk_load("part", [(i, i % 4) for i in range(40)])
+    db.create_index("ix", "part", "category_id")
+    return db
+
+
+class TestBlockingApi:
+    def test_execute_query(self, loaded):
+        conn = loaded.connect()
+        result = conn.execute_query(
+            "SELECT count(*) FROM part WHERE category_id = ?", [2]
+        )
+        assert result.scalar() == 10
+        conn.close()
+
+    def test_prepared_bind(self, loaded):
+        conn = loaded.connect()
+        qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+        qt.bind(1, 3)
+        assert conn.execute_query(qt).scalar() == 10
+        conn.close()
+
+    def test_bind_out_of_range(self, loaded):
+        conn = loaded.connect()
+        qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+        with pytest.raises(DatabaseError):
+            qt.bind(2, 1)
+        with pytest.raises(DatabaseError):
+            qt.bind(0, 1)
+        conn.close()
+
+    def test_bind_all(self, loaded):
+        conn = loaded.connect()
+        qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+        qt.bind_all([1])
+        assert conn.execute_query(qt).scalar() == 10
+        with pytest.raises(DatabaseError):
+            qt.bind_all([1, 2])
+        conn.close()
+
+    def test_stats_track_calls(self, loaded):
+        conn = loaded.connect()
+        conn.execute_query("SELECT count(*) FROM part")
+        handle = conn.submit_query("SELECT count(*) FROM part")
+        conn.fetch_result(handle)
+        assert conn.stats.blocking_calls == 1
+        assert conn.stats.async_submits == 1
+        assert conn.stats.fetches == 1
+        conn.close()
+
+
+class TestAsyncApi:
+    def test_submit_fetch(self, loaded):
+        conn = loaded.connect(async_workers=4)
+        handles = [
+            conn.submit_query(
+                "SELECT count(*) FROM part WHERE category_id = ?", [c]
+            )
+            for c in range(4)
+        ]
+        results = [conn.fetch_result(h).scalar() for h in handles]
+        assert results == [10, 10, 10, 10]
+        conn.close()
+
+    def test_rebinding_prepared_between_submits_is_safe(self, loaded):
+        """The paper's transformed loops rebind one prepared statement
+        per iteration; the submit must snapshot the bind state."""
+        conn = loaded.connect(async_workers=4)
+        qt = conn.prepare("SELECT count(*) FROM part WHERE category_id = ?")
+        handles = []
+        for c in range(4):
+            qt.bind(1, c)
+            handles.append(conn.submit_query(qt))
+        assert [conn.fetch_result(h).scalar() for h in handles] == [10] * 4
+        conn.close()
+
+    def test_error_surfaces_at_fetch(self, loaded):
+        conn = loaded.connect(async_workers=2)
+        handle = conn.submit_query("SELECT count(*) FROM missing_table")
+        from repro.db.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            conn.fetch_result(handle)
+        conn.close()
+
+    def test_handle_done_polling(self, loaded):
+        conn = loaded.connect(async_workers=2)
+        handle = conn.submit_query("SELECT count(*) FROM part")
+        conn.fetch_result(handle)
+        assert handle.done()
+        conn.close()
+
+    def test_resize_workers(self, loaded):
+        conn = loaded.connect(async_workers=2)
+        conn.set_async_workers(6)
+        assert conn.async_workers == 6
+        handle = conn.submit_query("SELECT count(*) FROM part")
+        assert conn.fetch_result(handle).scalar() == 40
+        conn.close()
+
+    def test_async_update(self, loaded):
+        conn = loaded.connect(async_workers=2)
+        handle = conn.submit_update(
+            "INSERT INTO part (part_key, category_id) VALUES (?, ?)", [1000, 1]
+        )
+        assert conn.fetch_result(handle).rowcount == 1
+        assert (
+            conn.execute_query(
+                "SELECT count(*) FROM part WHERE part_key = 1000"
+            ).scalar()
+            == 1
+        )
+        conn.close()
+
+
+class TestLifecycle:
+    def test_closed_connection_rejects(self, loaded):
+        conn = loaded.connect()
+        conn.close()
+        with pytest.raises(DatabaseError):
+            conn.execute_query("SELECT count(*) FROM part")
+        with pytest.raises(DatabaseError):
+            conn.submit_query("SELECT count(*) FROM part")
+
+    def test_context_manager(self, loaded):
+        with loaded.connect() as conn:
+            assert conn.execute_query("SELECT count(*) FROM part").scalar() == 40
+
+    def test_double_close_is_safe(self, loaded):
+        conn = loaded.connect()
+        conn.close()
+        conn.close()
+
+    def test_not_a_query_rejected(self, loaded):
+        conn = loaded.connect()
+        with pytest.raises(DatabaseError):
+            conn.execute_query(12345)
+        conn.close()

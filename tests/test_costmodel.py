@@ -1,0 +1,97 @@
+"""Unit tests: the Discussion-section cost model and thread advisor."""
+
+import pytest
+
+from repro.db.latency import INSTANT, SYS1
+from repro.transform.costmodel import (
+    LoopCostEstimate,
+    breakeven_iterations,
+    estimate_loop_cost,
+    recommend_threads,
+    should_transform,
+)
+
+
+class TestEstimate:
+    def test_zero_iterations(self):
+        estimate = estimate_loop_cost(SYS1, 0)
+        assert estimate.blocking_s == 0
+        assert estimate.async_s == 0
+        assert not estimate.beneficial
+
+    def test_blocking_scales_linearly(self):
+        small = estimate_loop_cost(SYS1, 100)
+        large = estimate_loop_cost(SYS1, 1000)
+        assert large.blocking_s == pytest.approx(small.blocking_s * 10)
+
+    def test_large_loops_benefit(self):
+        estimate = estimate_loop_cost(SYS1, 10_000, threads=10)
+        assert estimate.beneficial
+        assert estimate.speedup > 3
+
+    def test_tiny_loops_lose(self):
+        # At a handful of iterations, thread spawn dominates.
+        estimate = estimate_loop_cost(SYS1, 2, threads=10)
+        assert not estimate.beneficial
+
+    def test_threads_capped_by_server_workers(self):
+        wide = estimate_loop_cost(SYS1, 10_000, threads=200)
+        narrow = estimate_loop_cost(SYS1, 10_000, threads=SYS1.server_workers)
+        # beyond the server pool, extra threads only add spawn cost
+        assert wide.async_s >= narrow.async_s
+
+    def test_server_time_included(self):
+        fast = estimate_loop_cost(SYS1, 1000, server_time_s=0.0)
+        slow = estimate_loop_cost(SYS1, 1000, server_time_s=0.005)
+        assert slow.blocking_s > fast.blocking_s
+        assert slow.async_s > fast.async_s
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            estimate_loop_cost(SYS1, -1)
+        with pytest.raises(ValueError):
+            estimate_loop_cost(SYS1, 10, threads=0)
+
+
+class TestBreakeven:
+    def test_sys1_breakeven_is_small_but_positive(self):
+        point = breakeven_iterations(SYS1, threads=10)
+        assert point is not None
+        assert 2 <= point <= 200
+
+    def test_matches_paper_shape(self):
+        """The paper's Figure 8: losing at 4 iterations, winning at 40."""
+        point = breakeven_iterations(SYS1, threads=10)
+        assert point is not None
+        assert not should_transform(SYS1, max(1, point - 1), threads=10)
+        assert should_transform(SYS1, point, threads=10)
+
+    def test_instant_profile_never_benefits(self):
+        assert breakeven_iterations(INSTANT, limit=10_000) is None
+
+
+class TestRecommendThreads:
+    def test_plateau_detection(self):
+        choice = recommend_threads(SYS1, 40_000)
+        # the paper's plateau sits around 10-20 threads for SYS1
+        assert 5 <= choice <= SYS1.server_workers + 4
+
+    def test_small_loop_needs_few_threads(self):
+        small = recommend_threads(SYS1, 10)
+        large = recommend_threads(SYS1, 40_000)
+        assert small <= large
+
+    def test_prediction_tracks_measured_plateau(self):
+        """The analytic curve must be monotone-then-flat like Figure 9."""
+        times = [
+            estimate_loop_cost(SYS1, 4000, threads=t).async_s
+            for t in (1, 2, 5, 10, 20, 50)
+        ]
+        assert times[0] > times[2] > times[3]
+        assert abs(times[4] - times[5]) / times[4] < 0.5
+
+
+class TestEstimateDataclass:
+    def test_speedup_infinite_on_zero(self):
+        estimate = LoopCostEstimate(1, 1, 1.0, 0.0)
+        assert estimate.speedup == float("inf")

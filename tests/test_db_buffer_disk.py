@@ -1,0 +1,230 @@
+"""Unit tests: buffer pool, simulated disk array and shared scans."""
+
+import threading
+
+import pytest
+
+from repro.db.buffer import BufferPool
+from repro.db.disk import SimulatedDisk
+from repro.db.latency import INSTANT, SYS1, LatencyMeter
+from repro.db.scans import SharedScanManager
+
+
+def make_disk(elevator=True, spindles=2):
+    return SimulatedDisk(INSTANT, LatencyMeter(), elevator=elevator, spindles=spindles)
+
+
+class TestDisk:
+    def test_read_counts(self):
+        disk = make_disk()
+        disk.allocate_extent("t", 10)
+        disk.read("t", 0)
+        disk.read("t", 1)
+        disk.read("t", 5)
+        assert disk.stats.reads == 3
+
+    def test_sequential_detection(self):
+        disk = make_disk(spindles=1)
+        disk.allocate_extent("t", 100)
+        disk.read("t", 10)
+        disk.read("t", 11)  # head+1: sequential
+        disk.read("t", 50)  # far away: random
+        assert disk.stats.sequential_reads >= 1
+        assert disk.stats.random_reads >= 1
+
+    def test_extent_separation(self):
+        disk = make_disk()
+        base_a = disk.allocate_extent("a", 10)
+        base_b = disk.allocate_extent("b", 10)
+        assert base_b >= base_a + 10
+
+    def test_grow_extent(self):
+        disk = make_disk()
+        disk.allocate_extent("a", 4)
+        disk.grow_extent("a", 100)
+        base_b = disk.allocate_extent("b", 1)
+        assert base_b >= disk.extent_base("a") + 100
+
+    def test_concurrent_reads_complete(self):
+        disk = SimulatedDisk(SYS1.scaled(0.5), LatencyMeter(), spindles=4)
+        disk.allocate_extent("t", 1000)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(start):
+            try:
+                barrier.wait(timeout=5)
+                for page in range(start, start + 6):
+                    disk.read("t", page * 7 % 1000)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i * 6,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert disk.stats.reads == 48
+        assert disk.stats.max_queue_depth > 1
+
+    def test_elevator_reduces_seek_distance(self):
+        """With many queued requests, SSTF service travels less."""
+        scattered = [((i * 397) % 1000) for i in range(48)]
+
+        def total_distance(elevator):
+            disk = SimulatedDisk(
+                SYS1, LatencyMeter(), elevator=elevator, spindles=1
+            )
+            disk.allocate_extent("t", 1000)
+            barrier = threading.Barrier(len(scattered))
+
+            def request(page):
+                barrier.wait(timeout=10)
+                disk.read("t", page)
+
+            threads = [
+                threading.Thread(target=request, args=(page,))
+                for page in scattered
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return disk.stats.total_seek_pages
+
+        assert total_distance(True) < total_distance(False)
+
+    def test_zero_spindles_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(INSTANT, LatencyMeter(), spindles=0)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        disk = make_disk()
+        pool = BufferPool(8, disk)
+        assert pool.access("t", 0) is False
+        assert pool.access("t", 0) is True
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self):
+        disk = make_disk()
+        pool = BufferPool(2, disk)
+        pool.access("t", 0)
+        pool.access("t", 1)
+        pool.access("t", 2)  # evicts page 0
+        assert pool.access("t", 1) is True
+        assert pool.access("t", 0) is False
+
+    def test_clear_makes_cold(self):
+        disk = make_disk()
+        pool = BufferPool(8, disk)
+        pool.access("t", 0)
+        pool.clear()
+        assert pool.access("t", 0) is False
+
+    def test_install_without_io(self):
+        disk = make_disk()
+        pool = BufferPool(8, disk)
+        pool.install("t", 3)
+        assert disk.stats.reads == 0
+        assert pool.access("t", 3) is True
+
+    def test_warm_helper(self):
+        disk = make_disk()
+        pool = BufferPool(16, disk)
+        pool.warm("t", 5)
+        assert all(pool.access("t", page) for page in range(5))
+
+    def test_hit_ratio(self):
+        disk = make_disk()
+        pool = BufferPool(8, disk)
+        pool.access("t", 0)
+        pool.access("t", 0)
+        pool.access("t", 0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0, make_disk())
+
+
+class TestSharedScans:
+    def test_single_scan_leads(self):
+        manager = SharedScanManager()
+        ran = []
+        manager.run("t", lambda: ran.append(1))
+        assert ran == [1]
+        assert manager.stats.led == 1
+
+    def test_concurrent_scans_share(self):
+        manager = SharedScanManager()
+        io_runs = []
+        barrier = threading.Barrier(4)
+        release = threading.Event()
+
+        def do_io():
+            io_runs.append(threading.get_ident())
+            release.wait(timeout=5)
+
+        def scanner():
+            barrier.wait(timeout=5)
+            manager.run("t", do_io)
+
+        threads = [threading.Thread(target=scanner) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Give followers time to attach, then let the leader finish.
+        import time
+
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join()
+        assert len(io_runs) == 1
+        assert manager.stats.led == 1
+        assert manager.stats.shared == 3
+
+    def test_disabled_manager_runs_solo(self):
+        manager = SharedScanManager(enabled=False)
+        ran = []
+        manager.run("t", lambda: ran.append(1))
+        manager.run("t", lambda: ran.append(2))
+        assert ran == [1, 2]
+        assert manager.stats.solo == 2
+
+    def test_leader_failure_does_not_poison_followers(self):
+        manager = SharedScanManager()
+        started = threading.Event()
+        finish_leader = threading.Event()
+        follower_result = []
+
+        def leader_io():
+            started.set()
+            finish_leader.wait(timeout=5)
+            raise RuntimeError("leader failed")
+
+        def leader():
+            try:
+                manager.run("t", leader_io)
+            except RuntimeError:
+                pass
+
+        def follower():
+            started.wait(timeout=5)
+            manager.run("t", lambda: follower_result.append("own-io"))
+
+        leader_thread = threading.Thread(target=leader)
+        follower_thread = threading.Thread(target=follower)
+        leader_thread.start()
+        started.wait(timeout=5)
+        follower_thread.start()
+        import time
+
+        time.sleep(0.05)
+        finish_leader.set()
+        leader_thread.join()
+        follower_thread.join()
+        assert follower_result == ["own-io"]

@@ -1,0 +1,103 @@
+"""Unit tests: row-level expression evaluation with SQL NULL semantics."""
+
+import pytest
+
+from repro.db.plan.expr_eval import RowEvaluator
+from repro.db.sql import parse
+from repro.db.types import schema_of
+
+SCHEMA = schema_of(("a", "int"), ("b", "int"), ("c", "text"))
+
+
+def evaluate(where_sql, row, params=()):
+    stmt = parse(f"SELECT a FROM t WHERE {where_sql}")
+    evaluator = RowEvaluator(SCHEMA, "t", params)
+    return evaluator.evaluate(stmt.where, row)
+
+
+def matches(where_sql, row, params=()):
+    stmt = parse(f"SELECT a FROM t WHERE {where_sql}")
+    evaluator = RowEvaluator(SCHEMA, "t", params)
+    return evaluator.matches(stmt.where, row)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert evaluate("a = 1", (1, 2, "x")) is True
+        assert evaluate("a = 1", (2, 2, "x")) is False
+
+    def test_ordering(self):
+        assert evaluate("a < b", (1, 2, "x")) is True
+        assert evaluate("a >= b", (1, 2, "x")) is False
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("a = 1", (None, 2, "x")) is None
+        assert evaluate("a < b", (1, None, "x")) is None
+
+    def test_params(self):
+        assert evaluate("a = ?", (5, 0, "x"), params=(5,)) is True
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("a + b = 3", (1, 2, "x")) is True
+        assert evaluate("a * b = 2", (1, 2, "x")) is True
+        assert evaluate("b - a = 1", (1, 2, "x")) is True
+
+    def test_division_stays_int_when_exact(self):
+        stmt = parse("SELECT a FROM t WHERE a / b = 2")
+        evaluator = RowEvaluator(SCHEMA, "t", ())
+        inner = stmt.where.left
+        assert evaluator.evaluate(inner, (4, 2, "x")) == 2
+        assert isinstance(evaluator.evaluate(inner, (4, 2, "x")), int)
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate("a / b = 1", (4, 0, "x")) is None
+        assert evaluate("a % b = 1", (4, 0, "x")) is None
+
+
+class TestThreeValuedLogic:
+    def test_and_with_false_short_circuits_null(self):
+        # NULL AND FALSE = FALSE
+        assert evaluate("a = 1 AND b = 2", (None, 3, "x")) is not True
+
+    def test_or_with_true(self):
+        # NULL OR TRUE = TRUE
+        assert evaluate("a = 1 OR b = 2", (None, 2, "x")) is True
+
+    def test_not_null_is_null(self):
+        assert evaluate("NOT a = 1", (None, 2, "x")) is None
+
+    def test_matches_rejects_unknown(self):
+        assert not matches("a = 1", (None, 2, "x"))
+        assert matches("a IS NULL", (None, 2, "x"))
+
+    def test_no_where_accepts(self):
+        stmt = parse("SELECT a FROM t")
+        evaluator = RowEvaluator(SCHEMA, "t", ())
+        assert evaluator.matches(stmt.where, (1, 2, "x"))
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert evaluate("a IS NULL", (None, 2, "x")) is True
+        assert evaluate("a IS NOT NULL", (None, 2, "x")) is False
+
+    def test_in_list(self):
+        assert evaluate("a IN (1, 2, 3)", (2, 0, "x")) is True
+        assert evaluate("a IN (1, 2, 3)", (9, 0, "x")) is False
+        assert evaluate("a NOT IN (1, 2)", (9, 0, "x")) is True
+
+    def test_in_list_with_null_member_unknown(self):
+        assert evaluate("a IN (1, NULL)", (9, 0, "x")) is None
+
+    def test_between(self):
+        assert evaluate("a BETWEEN 1 AND 3", (2, 0, "x")) is True
+        assert evaluate("a BETWEEN 1 AND 3", (4, 0, "x")) is False
+        assert evaluate("a NOT BETWEEN 1 AND 3", (4, 0, "x")) is True
+
+    def test_between_null_bound(self):
+        assert evaluate("a BETWEEN ? AND 3", (2, 0, "x"), params=(None,)) is None
+
+    def test_text_equality(self):
+        assert evaluate("c = 'x'", (1, 2, "x")) is True

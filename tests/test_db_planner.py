@@ -1,0 +1,180 @@
+"""Unit tests: planner access-path selection and query execution."""
+
+import pytest
+
+from repro.db import Database, INSTANT
+from repro.db.errors import (
+    ParamCountError,
+    PlanError,
+    SqlSyntaxError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+@pytest.fixture
+def loaded(db):
+    db.create_table(
+        "part", ("part_key", "int"), ("category_id", "int"), ("size", "int"),
+        rows_per_page=8,
+    )
+    db.bulk_load("part", [(i, i % 5, i * 2) for i in range(100)])
+    return db
+
+
+def plan_of(db, sql):
+    return db.server.prepare(sql).plan
+
+
+class TestAccessPaths:
+    def test_seq_scan_without_index(self, loaded):
+        plan = plan_of(loaded, "SELECT * FROM part WHERE size = 10")
+        assert plan.access_path == "SeqScanOp"
+
+    def test_hash_index_chosen(self, loaded):
+        loaded.create_index("ix", "part", "category_id")
+        plan = plan_of(loaded, "SELECT * FROM part WHERE category_id = 3")
+        assert plan.access_path == "HashEqOp"
+
+    def test_clustered_preferred(self, db):
+        db.create_table(
+            "c", ("k", "int"), ("v", "int"), clustered_on="k"
+        )
+        db.bulk_load("c", [(i, i) for i in range(10)])
+        db.create_index("cx", "c", "k")
+        plan = plan_of(db, "SELECT * FROM c WHERE k = 3")
+        assert plan.access_path == "ClusteredEqOp"
+
+    def test_ordered_index_for_range(self, loaded):
+        loaded.create_index("ox", "part", "size", ordered=True)
+        plan = plan_of(loaded, "SELECT * FROM part WHERE size > 50")
+        assert plan.access_path == "OrderedRangeOp"
+
+    def test_ordered_index_for_between(self, loaded):
+        loaded.create_index("ox", "part", "size", ordered=True)
+        plan = plan_of(loaded, "SELECT * FROM part WHERE size BETWEEN 10 AND 20")
+        assert plan.access_path == "OrderedRangeOp"
+
+    def test_equality_beats_range(self, loaded):
+        loaded.create_index("ix", "part", "category_id")
+        loaded.create_index("ox", "part", "size", ordered=True)
+        plan = plan_of(
+            loaded, "SELECT * FROM part WHERE size > 5 AND category_id = 1"
+        )
+        assert plan.access_path == "HashEqOp"
+
+    def test_or_prevents_index(self, loaded):
+        loaded.create_index("ix", "part", "category_id")
+        plan = plan_of(
+            loaded, "SELECT * FROM part WHERE category_id = 1 OR size = 2"
+        )
+        assert plan.access_path == "SeqScanOp"
+
+
+class TestIndexEquivalence:
+    """Planning is a cost decision, never a correctness one."""
+
+    QUERIES = [
+        ("SELECT part_key FROM part WHERE category_id = ?", (2,)),
+        ("SELECT count(*) FROM part WHERE category_id = ? AND size > 20", (3,)),
+        ("SELECT max(size) FROM part WHERE category_id = ?", (0,)),
+        ("SELECT part_key FROM part WHERE size BETWEEN 10 AND 40", ()),
+    ]
+
+    def test_same_rows_with_and_without_indexes(self, db):
+        schema = [("part_key", "int"), ("category_id", "int"), ("size", "int")]
+        rows = [(i, i % 5, i * 2) for i in range(100)]
+
+        def build(with_indexes):
+            database = Database(INSTANT)
+            database.create_table("part", *schema)
+            database.bulk_load("part", rows)
+            if with_indexes:
+                database.create_index("ix", "part", "category_id")
+                database.create_index("ox", "part", "size", ordered=True)
+            return database
+
+        plain, indexed = build(False), build(True)
+        try:
+            for sql, params in self.QUERIES:
+                a = sorted(plain.server.execute(sql, params).rows)
+                b = sorted(indexed.server.execute(sql, params).rows)
+                assert a == b, sql
+        finally:
+            plain.close()
+            indexed.close()
+
+
+class TestExecution:
+    def test_projection_and_alias(self, loaded):
+        result = loaded.server.execute(
+            "SELECT part_key AS pk, size FROM part WHERE part_key = 3"
+        )
+        assert result.columns == ("pk", "size")
+        assert result.rows == [(3, 6)]
+
+    def test_order_by_desc_with_limit(self, loaded):
+        result = loaded.server.execute(
+            "SELECT part_key FROM part ORDER BY part_key DESC LIMIT 3"
+        )
+        assert result.column("part_key") == [99, 98, 97]
+
+    def test_multi_key_order(self, loaded):
+        result = loaded.server.execute(
+            "SELECT category_id, part_key FROM part "
+            "ORDER BY category_id, part_key DESC LIMIT 3"
+        )
+        assert result.rows[0][0] == 0
+        assert result.rows[0][1] > result.rows[1][1]
+
+    def test_distinct(self, loaded):
+        result = loaded.server.execute("SELECT DISTINCT category_id FROM part")
+        assert sorted(result.column("category_id")) == [0, 1, 2, 3, 4]
+
+    def test_aggregates(self, loaded):
+        result = loaded.server.execute(
+            "SELECT count(*), sum(size), min(size), max(size), avg(size) FROM part"
+        )
+        count, total, low, high, mean = result.rows[0]
+        assert count == 100
+        assert total == sum(i * 2 for i in range(100))
+        assert (low, high) == (0, 198)
+        assert mean == total / 100
+
+    def test_aggregate_empty_input(self, loaded):
+        result = loaded.server.execute(
+            "SELECT count(*), max(size) FROM part WHERE part_key = -1"
+        )
+        assert result.rows[0] == (0, None)
+
+    def test_count_distinct(self, loaded):
+        result = loaded.server.execute("SELECT count(DISTINCT category_id) FROM part")
+        assert result.scalar() == 5
+
+    def test_scalar_on_empty(self, loaded):
+        result = loaded.server.execute("SELECT part_key FROM part WHERE part_key = -5")
+        assert result.scalar() is None
+
+    def test_param_count_mismatch(self, loaded):
+        with pytest.raises(ParamCountError):
+            loaded.server.execute("SELECT * FROM part WHERE part_key = ?", ())
+
+    def test_unknown_table(self, loaded):
+        with pytest.raises(UnknownTableError):
+            loaded.server.execute("SELECT * FROM missing")
+
+    def test_unknown_column(self, loaded):
+        with pytest.raises(UnknownColumnError):
+            loaded.server.execute("SELECT nope FROM part")
+
+    def test_syntax_error(self, loaded):
+        with pytest.raises(SqlSyntaxError):
+            loaded.server.execute("SELEC * FROM part")
+
+    def test_negative_limit_rejected(self, loaded):
+        with pytest.raises(PlanError):
+            loaded.server.execute("SELECT * FROM part LIMIT ?", (-1,))
+
+    def test_mixed_aggregate_plain_rejected(self, loaded):
+        with pytest.raises(PlanError):
+            loaded.server.execute("SELECT part_key, count(*) FROM part")

@@ -1,0 +1,91 @@
+"""Unit tests: the SQL tokenizer."""
+
+import pytest
+
+from repro.db.errors import SqlSyntaxError
+from repro.db.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT sElEcT select")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+        assert [t.value for t in tokens[:-1]] == ["select"] * 3
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("PartKey")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "PartKey"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_param_marker(self):
+        assert kinds("?")[0] is TokenType.PARAM
+
+    def test_operators(self):
+        tokens = tokenize("= <> != <= >= < > + - / %")
+        observed = [t.value for t in tokens[:-1]]
+        assert observed == ["=", "<>", "<>", "<=", ">=", "<", ">", "+", "-", "/", "%"]
+
+    def test_punctuation(self):
+        assert kinds("( ) , *")[:4] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.STAR,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["select", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("select @")
+        assert info.value.position == 7
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestRealisticStatements:
+    def test_paper_query(self):
+        sql = "select count(partkey) from part where p_category = ?"
+        tokens = tokenize(sql)
+        assert tokens[0].is_keyword("select")
+        assert tokens[1].is_keyword("count")
+        assert any(t.type is TokenType.PARAM for t in tokens)
+
+    def test_insert(self):
+        tokens = tokenize("INSERT INTO t (a, b) VALUES (?, 'x')")
+        assert tokens[0].is_keyword("insert")
+        assert sum(1 for t in tokens if t.type is TokenType.STRING) == 1

@@ -1,0 +1,196 @@
+"""Unit tests: heap storage, clustered tables and secondary indexes."""
+
+import pytest
+
+from repro.db.errors import ConstraintError
+from repro.db.index import HashIndex, OrderedIndex
+from repro.db.storage import HeapTable, OrderKey
+from repro.db.types import schema_of
+
+SCHEMA = schema_of(("id", "int"), ("grp", "int"), ("val", "int"))
+
+
+def make_heap(rows_per_page=4, clustered_on=None):
+    return HeapTable("t", SCHEMA, rows_per_page=rows_per_page, clustered_on=clustered_on)
+
+
+class TestHeapTable:
+    def test_insert_and_fetch(self):
+        heap = make_heap()
+        rid = heap.insert((1, 2, 3))
+        assert heap.fetch(rid) == (1, 2, 3)
+        assert len(heap) == 1
+
+    def test_page_geometry(self):
+        heap = make_heap(rows_per_page=4)
+        for i in range(10):
+            heap.insert((i, 0, 0))
+        assert heap.page_count == 3
+        assert heap.page_of(0) == 0
+        assert heap.page_of(4) == 1
+        assert heap.page_of(9) == 2
+
+    def test_delete_leaves_tombstone(self):
+        heap = make_heap()
+        rid = heap.insert((1, 2, 3))
+        heap.insert((4, 5, 6))
+        heap.delete(rid)
+        assert heap.fetch(rid) is None
+        assert len(heap) == 1
+        assert [row for _rid, row in heap.iter_rows()] == [(4, 5, 6)]
+
+    def test_double_delete_rejected(self):
+        heap = make_heap()
+        rid = heap.insert((1, 2, 3))
+        heap.delete(rid)
+        with pytest.raises(ConstraintError):
+            heap.delete(rid)
+
+    def test_update_in_place(self):
+        heap = make_heap()
+        rid = heap.insert((1, 2, 3))
+        heap.update(rid, (1, 2, 99))
+        assert heap.fetch(rid) == (1, 2, 99)
+
+    def test_update_deleted_rejected(self):
+        heap = make_heap()
+        rid = heap.insert((1, 2, 3))
+        heap.delete(rid)
+        with pytest.raises(ConstraintError):
+            heap.update(rid, (1, 2, 4))
+
+    def test_compact_drops_tombstones(self):
+        heap = make_heap()
+        rids = [heap.insert((i, 0, 0)) for i in range(6)]
+        heap.delete(rids[1])
+        heap.delete(rids[3])
+        heap.compact()
+        assert len(heap) == 4
+        assert all(row is not None for _rid, row in heap.iter_rows())
+
+
+class TestClusteredHeap:
+    def test_rows_kept_sorted(self):
+        heap = make_heap(clustered_on="grp")
+        for grp in (5, 1, 3, 1, 5, 2):
+            heap.insert((0, grp, 0))
+        groups = [row[1] for _rid, row in heap.iter_rows()]
+        assert groups == sorted(groups)
+
+    def test_cluster_range(self):
+        heap = make_heap(clustered_on="grp")
+        for grp in (1, 1, 2, 2, 2, 3):
+            heap.insert((0, grp, 0))
+        low, high = heap.cluster_range(2)
+        assert high - low == 3
+        assert all(heap.fetch(rid)[1] == 2 for rid in range(low, high))
+
+    def test_cluster_range_missing_key(self):
+        heap = make_heap(clustered_on="grp")
+        heap.insert((0, 1, 0))
+        low, high = heap.cluster_range(9)
+        assert low == high
+
+    def test_cluster_range_on_unclustered_rejected(self):
+        heap = make_heap()
+        with pytest.raises(ConstraintError):
+            heap.cluster_range(1)
+
+    def test_update_clustering_key_rejected(self):
+        heap = make_heap(clustered_on="grp")
+        rid = heap.insert((0, 1, 0))
+        with pytest.raises(ConstraintError):
+            heap.update(rid, (0, 2, 0))
+
+
+class TestOrderKey:
+    def test_none_sorts_last(self):
+        keys = sorted([OrderKey(3), OrderKey(None), OrderKey(1)])
+        assert [k.value for k in keys] == [1, 3, None]
+
+    def test_mixed_types_total_order(self):
+        keys = sorted([OrderKey("b"), OrderKey(2), OrderKey("a"), OrderKey(1)])
+        assert [k.value for k in keys] == [1, 2, "a", "b"]
+
+
+class TestHashIndex:
+    def build(self):
+        heap = make_heap()
+        for i in range(20):
+            heap.insert((i, i % 4, i))
+        index = HashIndex("ix", heap, "grp")
+        index.build()
+        return heap, index
+
+    def test_lookup(self):
+        _heap, index = self.build()
+        assert index.lookup(2) == [2, 6, 10, 14, 18]
+        assert index.lookup(99) == []
+
+    def test_incremental_add_remove(self):
+        heap, index = self.build()
+        rid = heap.insert((100, 2, 0))
+        index.add(rid, 2)
+        assert rid in index.lookup(2)
+        index.remove(rid, 2)
+        assert rid not in index.lookup(2)
+
+    def test_remove_missing_is_noop(self):
+        _heap, index = self.build()
+        index.remove(12345, 2)
+
+    def test_unique_violation(self):
+        heap = make_heap()
+        heap.insert((1, 7, 0))
+        heap.insert((2, 7, 0))
+        index = HashIndex("u", heap, "grp", unique=True)
+        with pytest.raises(ConstraintError):
+            index.build()
+
+    def test_page_for_is_stable(self):
+        _heap, index = self.build()
+        assert index.page_for(3) == index.page_for(3)
+
+
+class TestOrderedIndex:
+    def build(self):
+        heap = make_heap()
+        for i in range(20):
+            heap.insert((i, 0, (i * 7) % 20))
+        index = OrderedIndex("ox", heap, "val")
+        index.build()
+        return heap, index
+
+    def test_full_range_sorted(self):
+        heap, index = self.build()
+        rids = index.range()
+        values = [heap.fetch(rid)[2] for rid in rids]
+        assert values == sorted(values)
+
+    def test_bounded_ranges(self):
+        heap, index = self.build()
+        rids = index.range(5, 10)
+        assert all(5 <= heap.fetch(rid)[2] <= 10 for rid in rids)
+        exclusive = index.range(5, 10, low_inclusive=False, high_inclusive=False)
+        assert all(5 < heap.fetch(rid)[2] < 10 for rid in exclusive)
+
+    def test_open_ended(self):
+        heap, index = self.build()
+        rids = index.range(low=15)
+        assert all(heap.fetch(rid)[2] >= 15 for rid in rids)
+
+    def test_nulls_excluded(self):
+        heap = make_heap()
+        heap.insert((1, 0, None))
+        rid = heap.insert((2, 0, 5))
+        index = OrderedIndex("ox", heap, "val")
+        index.build()
+        assert index.range() == [rid]
+
+    def test_incremental(self):
+        heap, index = self.build()
+        rid = heap.insert((100, 0, 7))
+        index.add(rid, 7)
+        assert rid in index.range(7, 7)
+        index.remove(rid, 7)
+        assert rid not in index.range(7, 7)

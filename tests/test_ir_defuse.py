@@ -1,0 +1,217 @@
+"""Unit tests: def/use extraction, purity model, renaming transforms."""
+
+import ast
+
+import pytest
+
+from repro.ir.defuse import (
+    RenameUnsupported,
+    analyze_expression,
+    analyze_statement,
+    rename_reads,
+    rename_writes,
+)
+from repro.ir.purity import PurityEnv
+from repro.transform.registry import default_registry
+
+
+def du_of(code, purity=None, registry=None):
+    node = ast.parse(code).body[0]
+    return analyze_statement(node, purity or PurityEnv(), registry)
+
+
+class TestAssignments:
+    def test_simple_assign(self):
+        du = du_of("x = y + z")
+        assert du.reads == {"y", "z"}
+        assert du.writes == {"x"}
+        assert du.kills == {"x"}
+        assert du.name_writes == {"x"}
+
+    def test_tuple_assign(self):
+        du = du_of("a, b = f(c)")
+        assert du.writes == {"a", "b"}
+        assert du.kills == {"a", "b"}
+        assert "c" in du.reads
+
+    def test_aug_assign_reads_and_writes(self):
+        du = du_of("total += count")
+        assert du.reads == {"total", "count"}
+        assert du.writes == {"total"}
+        assert du.kills == {"total"}
+
+    def test_attribute_store_is_object_write_no_kill(self):
+        du = du_of("obj.field = v")
+        assert "obj" in du.writes
+        assert "obj" in du.reads
+        assert "obj" not in du.kills
+        assert "obj" not in du.name_writes
+
+    def test_subscript_store(self):
+        du = du_of("arr[i] = v")
+        assert "arr" in du.writes and "arr" in du.reads
+        assert "i" in du.reads and "v" in du.reads
+        assert "arr" not in du.kills
+
+    def test_subscript_aug_assign(self):
+        du = du_of("arr[i] += v")
+        assert "arr" in du.writes and "arr" in du.reads
+
+
+class TestCalls:
+    def test_unknown_method_mutates_receiver(self):
+        du = du_of("worklist.shuffle()")
+        assert "worklist" in du.writes
+
+    def test_known_pure_method(self):
+        du = du_of("x = d.get(k)")
+        assert "d" in du.reads
+        assert "d" not in du.writes
+
+    def test_known_mutating_method(self):
+        du = du_of("stack.pop()")
+        assert "stack" in du.writes
+
+    def test_bind_mutates_prepared(self):
+        du = du_of("qt.bind(1, category)")
+        assert "qt" in du.writes
+        assert "category" in du.reads
+
+    def test_unknown_function_is_arg_pure(self):
+        du = du_of("y = mystery(x)")
+        assert du.writes == {"y"}
+        assert "x" in du.reads
+
+    def test_registered_mutating_function(self):
+        purity = PurityEnv()
+        purity.register_function("fill", mutates_args=[0])
+        du = du_of("fill(buffer, n)", purity=purity)
+        assert "buffer" in du.writes
+
+    def test_registered_resource_function(self):
+        purity = PurityEnv()
+        purity.register_function("save", writes_resources=["fs"])
+        du = du_of("save(x)", purity=purity)
+        assert "fs" in du.external_writes
+
+    def test_print_is_io_write(self):
+        du = du_of("print(x)")
+        assert "io" in du.external_writes
+
+    def test_print_ignored_when_io_order_free(self):
+        purity = PurityEnv(io_ordering_matters=False)
+        du = du_of("print(x)", purity=purity)
+        assert not du.external_writes
+
+    def test_query_call_reads_db(self):
+        du = du_of("r = conn.execute_query(q, [x])", registry=default_registry())
+        assert "db" in du.external_reads
+        assert "conn" not in du.writes
+
+    def test_update_call_writes_db(self):
+        du = du_of("conn.execute_update(q, [x])", registry=default_registry())
+        assert "db" in du.external_writes
+        assert not du.commuting
+
+    def test_commuting_update(self):
+        registry = default_registry().with_effect("execute_update", "commuting_write")
+        du = du_of("conn.execute_update(q, [x])", registry=registry)
+        assert "db" in du.external_writes
+        assert "db" in du.commuting
+
+    def test_submit_call_has_external_effect_without_mutation(self):
+        du = du_of("h = conn.submit_query(q)", registry=default_registry())
+        assert "db" in du.external_reads
+        assert "conn" not in du.writes
+
+    def test_web_call_uses_web_resource(self):
+        du = du_of("e = client.get_entity(x)", registry=default_registry())
+        assert "web" in du.external_reads
+        assert "db" not in du.external_reads
+
+
+class TestCompoundAndExpressions:
+    def test_if_summary_has_no_kills(self):
+        du = du_of("if p:\n    x = 1\nelse:\n    y = 2")
+        assert du.writes == {"x", "y"}
+        assert du.kills == frozenset()
+        assert "p" in du.reads
+
+    def test_while_summary(self):
+        du = du_of("while p:\n    x = x + 1")
+        assert "p" in du.reads and "x" in du.reads
+        assert "x" in du.writes
+
+    def test_for_summary_includes_target(self):
+        du = du_of("for item in items:\n    out.append(item)")
+        assert "item" in du.writes
+        assert "items" in du.reads
+        assert "out" in du.writes
+
+    def test_comprehension_target_scoped(self):
+        du = du_of("ys = [x * 2 for x in xs]")
+        assert "xs" in du.reads
+        assert "x" not in du.writes
+        assert du.writes == {"ys"}
+
+    def test_lambda_free_vars(self):
+        du = du_of("f = lambda a: a + outer")
+        assert "outer" in du.reads
+        assert "a" not in du.reads
+
+    def test_expression_analysis(self):
+        du = analyze_expression(ast.parse("len(stack) > 0", mode="eval").body, PurityEnv())
+        assert "stack" in du.reads
+        assert not du.writes
+
+
+class TestRenaming:
+    def test_rename_reads(self):
+        node = ast.parse("y = x + x * z").body[0]
+        renamed = rename_reads(node, "x", "x2")
+        assert ast.unparse(renamed) == "y = x2 + x2 * z"
+
+    def test_rename_reads_leaves_writes(self):
+        node = ast.parse("x = x + 1").body[0]
+        renamed = rename_reads(node, "x", "x_old")
+        assert ast.unparse(renamed) == "x = x_old + 1"
+
+    def test_rename_reads_blocked_on_augassign(self):
+        node = ast.parse("x += 1").body[0]
+        with pytest.raises(RenameUnsupported):
+            rename_reads(node, "x", "x2")
+
+    def test_rename_writes(self):
+        node = ast.parse("x = y + 1").body[0]
+        renamed = rename_writes(node, "x", "x2")
+        assert ast.unparse(renamed) == "x2 = y + 1"
+
+    def test_rename_writes_converts_augassign(self):
+        node = ast.parse("x += y").body[0]
+        renamed = rename_writes(node, "x", "x2")
+        assert ast.unparse(renamed) == "x2 = x + y"
+
+    def test_rename_writes_blocked_on_subscript(self):
+        node = ast.parse("a[0] = 1").body[0]
+        with pytest.raises(RenameUnsupported):
+            rename_writes(node, "a", "a2")
+
+    def test_rename_writes_blocked_on_attribute(self):
+        node = ast.parse("o.f = 1").body[0]
+        with pytest.raises(RenameUnsupported):
+            rename_writes(node, "o", "o2")
+
+    def test_rename_writes_blocked_on_mutating_method(self):
+        node = ast.parse("stack.pop()").body[0]
+        with pytest.raises(RenameUnsupported):
+            rename_writes(node, "stack", "s2")
+
+    def test_rename_writes_allows_pure_method_on_var(self):
+        node = ast.parse("x = d.get(k)").body[0]
+        renamed = rename_writes(node, "x", "x2")
+        assert ast.unparse(renamed) == "x2 = d.get(k)"
+
+    def test_rename_does_not_mutate_original(self):
+        node = ast.parse("y = x").body[0]
+        rename_reads(node, "x", "z")
+        assert ast.unparse(node) == "y = x"

@@ -1,0 +1,124 @@
+"""Unit tests: Stmt wrappers, guards, query detection, loop headers."""
+
+import ast
+
+import pytest
+
+from repro.ir.purity import PurityEnv
+from repro.ir.statements import (
+    CONTROL_VAR,
+    Guard,
+    find_query_call,
+    make_block,
+    make_header,
+    make_stmt,
+)
+from repro.transform.registry import default_registry
+
+PURITY = PurityEnv()
+REGISTRY = default_registry()
+
+
+def stmt_of(code, guards=()):
+    node = ast.parse(code).body[0]
+    return make_stmt(node, PURITY, REGISTRY, guards)
+
+
+class TestGuards:
+    def test_guard_adds_read(self):
+        stmt = stmt_of("x = 1", guards=(Guard("cv", True),))
+        assert "cv" in stmt.reads
+
+    def test_guarded_write_does_not_kill(self):
+        stmt = stmt_of("x = 1", guards=(Guard("cv", True),))
+        assert stmt.kills == frozenset()
+        unguarded = stmt_of("x = 1")
+        assert unguarded.kills == {"x"}
+
+    def test_negated_guard(self):
+        guard = Guard("cv", True)
+        assert guard.negated() == Guard("cv", False)
+
+    def test_body_statements_read_control_var(self):
+        stmt = stmt_of("x = 1")
+        assert CONTROL_VAR in stmt.reads
+
+
+class TestQueryDetection:
+    def test_assign_query(self):
+        stmt = stmt_of("r = conn.execute_query(q, [x])")
+        assert stmt.is_query
+        assert stmt.query.spec.submit == "submit_query"
+        assert isinstance(stmt.query.target, ast.Name)
+
+    def test_tuple_target_query(self):
+        stmt = stmt_of("a, b = conn.execute_query(q)")
+        assert stmt.is_query
+
+    def test_bare_expression_query(self):
+        stmt = stmt_of("conn.execute_update(q, [x])")
+        assert stmt.is_query
+        assert stmt.query.target is None
+
+    def test_embedded_query_not_top_level(self):
+        stmt = stmt_of("r = conn.execute_query(q).scalar()")
+        assert not stmt.is_query
+        assert stmt.has_embedded_query
+
+    def test_two_queries_not_top_level(self):
+        stmt = stmt_of("r = f(conn.execute_query(a), conn.execute_query(b))")
+        assert not stmt.is_query
+        assert stmt.has_embedded_query
+
+    def test_non_query_statement(self):
+        stmt = stmt_of("x = stack.pop()")
+        assert stmt.query is None
+
+    def test_find_query_call_without_registry_match(self):
+        node = ast.parse("x = helper(y)").body[0]
+        assert find_query_call(node, REGISTRY) is None
+
+    def test_receiver_extracted(self):
+        stmt = stmt_of("r = self.conn.execute_query(q)")
+        assert ast.unparse(stmt.query.receiver) == "self.conn"
+
+
+class TestHeaders:
+    def test_while_header(self):
+        loop = ast.parse("while len(stack) > 0:\n    pass").body[0]
+        header = make_header(loop, PURITY, REGISTRY)
+        assert header.is_header
+        assert "stack" in header.reads
+        assert CONTROL_VAR in header.writes
+        assert CONTROL_VAR in header.kills
+
+    def test_for_header_writes_target(self):
+        loop = ast.parse("for x in items:\n    pass").body[0]
+        header = make_header(loop, PURITY, REGISTRY)
+        assert "items" in header.reads
+        assert "x" in header.writes
+        assert "x" in header.kills
+
+    def test_for_header_tuple_target(self):
+        loop = ast.parse("for a, b in pairs:\n    pass").body[0]
+        header = make_header(loop, PURITY, REGISTRY)
+        assert {"a", "b"} <= header.writes
+
+    def test_non_loop_rejected(self):
+        node = ast.parse("x = 1").body[0]
+        with pytest.raises(TypeError):
+            make_header(node, PURITY, REGISTRY)
+
+
+class TestBlocks:
+    def test_make_block_preserves_order(self):
+        nodes = ast.parse("a = 1\nb = a\nc = b").body
+        block = make_block(nodes, PURITY, REGISTRY)
+        assert [ast.unparse(stmt.node) for stmt in block] == ["a = 1", "b = a", "c = b"]
+
+    def test_stmt_identity_semantics(self):
+        first = stmt_of("x = 1")
+        second = stmt_of("x = 1")
+        assert first != second  # identity, not structural equality
+        assert first == first
+        assert len({first, second}) == 2

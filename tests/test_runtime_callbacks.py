@@ -1,0 +1,148 @@
+"""Unit tests: the callback coordination model (paper Section II)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.callbacks import CallbackDispatcher, OrderedCallbackDispatcher
+from repro.runtime.executor import AsyncExecutor
+from repro.runtime.handles import completed_handle, failed_handle
+
+
+class TestCallbackDispatcher:
+    def test_callback_runs(self):
+        collected = []
+        with CallbackDispatcher() as dispatcher:
+            dispatcher.register(completed_handle(42), collected.append)
+            dispatcher.drain()
+        assert collected == [42]
+
+    def test_many_callbacks_all_delivered(self):
+        collected = []
+        with AsyncExecutor(4) as executor, CallbackDispatcher() as dispatcher:
+            for i in range(50):
+                handle = executor.submit(lambda i=i: i * i)
+                dispatcher.register(handle, collected.append)
+            dispatcher.drain()
+        assert sorted(collected) == [i * i for i in range(50)]
+
+    def test_callbacks_serialized_on_one_thread(self):
+        """Unsynchronized accumulation is safe: callbacks never race."""
+        counter = {"value": 0, "threads": set()}
+
+        def bump(_value):
+            counter["threads"].add(threading.get_ident())
+            current = counter["value"]
+            time.sleep(0.0005)  # widen any race window
+            counter["value"] = current + 1
+
+        with AsyncExecutor(8) as executor, CallbackDispatcher() as dispatcher:
+            for i in range(40):
+                dispatcher.register(executor.submit(lambda: 1), bump)
+            dispatcher.drain()
+        assert counter["value"] == 40
+        assert len(counter["threads"]) == 1
+
+    def test_error_callback(self):
+        errors = []
+        with CallbackDispatcher() as dispatcher:
+            dispatcher.register(
+                failed_handle(ValueError("nope")),
+                lambda _v: pytest.fail("result callback must not run"),
+                errors.append,
+            )
+            dispatcher.drain()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ValueError)
+
+    def test_stats(self):
+        with CallbackDispatcher() as dispatcher:
+            dispatcher.register(completed_handle(1), lambda _v: None)
+            dispatcher.register(failed_handle(RuntimeError()), lambda _v: None,
+                                lambda _e: None)
+            dispatcher.drain()
+            assert dispatcher.stats.registered == 2
+            assert dispatcher.stats.delivered == 1
+            assert dispatcher.stats.failed == 1
+
+    def test_closed_dispatcher_rejects(self):
+        dispatcher = CallbackDispatcher()
+        dispatcher.close()
+        with pytest.raises(RuntimeError):
+            dispatcher.register(completed_handle(1), lambda _v: None)
+
+    def test_drain_timeout(self):
+        with AsyncExecutor(1) as executor, CallbackDispatcher() as dispatcher:
+            gate = threading.Event()
+            dispatcher.register(
+                executor.submit(lambda: gate.wait(5)), lambda _v: None
+            )
+            assert not dispatcher.drain(timeout=0.05)
+            gate.set()
+            assert dispatcher.drain(timeout=5)
+
+
+class TestOrderedCallbackDispatcher:
+    def test_registration_order_preserved(self):
+        order = []
+        with AsyncExecutor(4) as executor:
+            dispatcher = OrderedCallbackDispatcher()
+            for i in range(20):
+                delay = 0.002 if i % 3 == 0 else 0.0
+                handle = executor.submit(lambda i=i, d=delay: (time.sleep(d), i)[1])
+                dispatcher.register(handle, order.append)
+            dispatcher.drain()
+        assert order == list(range(20))
+
+    def test_error_without_handler_raises(self):
+        dispatcher = OrderedCallbackDispatcher()
+        dispatcher.register(failed_handle(KeyError("boom")), lambda _v: None)
+        with pytest.raises(KeyError):
+            dispatcher.drain()
+
+    def test_error_with_handler(self):
+        errors = []
+        dispatcher = OrderedCallbackDispatcher()
+        dispatcher.register(
+            failed_handle(KeyError("boom")), lambda _v: None, errors.append
+        )
+        dispatcher.drain()
+        assert len(errors) == 1
+
+    def test_context_manager_drains(self):
+        collected = []
+        with OrderedCallbackDispatcher() as dispatcher:
+            dispatcher.register(completed_handle(7), collected.append)
+        assert collected == [7]
+
+    def test_context_manager_skips_drain_on_error(self):
+        collected = []
+        with pytest.raises(RuntimeError):
+            with OrderedCallbackDispatcher() as dispatcher:
+                dispatcher.register(completed_handle(7), collected.append)
+                raise RuntimeError("abort")
+        assert collected == []
+
+
+class TestCallbackModelWithRealDatabase:
+    def test_aggregate_via_callbacks(self):
+        from repro.db import Database, INSTANT
+
+        with Database(INSTANT) as db:
+            db.create_table("t", ("a", "int"))
+            db.bulk_load("t", [(i,) for i in range(30)])
+            conn = db.connect(async_workers=4)
+            total = []
+            with CallbackDispatcher() as dispatcher:
+                for low in range(0, 30, 10):
+                    handle = conn.submit_query(
+                        "SELECT count(*) FROM t WHERE a >= ? AND a < ?",
+                        [low, low + 10],
+                    )
+                    dispatcher.register(
+                        handle, lambda result: total.append(result.scalar())
+                    )
+                dispatcher.drain()
+            assert sum(total) == 30
+            conn.close()

@@ -1,0 +1,123 @@
+"""Unit tests: AST construction helpers and the name allocator."""
+
+import ast
+
+import pytest
+
+from repro.ir.statements import Guard
+from repro.transform.codegen import (
+    append_call,
+    assign,
+    assign_name_to_name,
+    emit_block,
+    emit_stmt,
+    empty_dict_assign,
+    empty_list_assign,
+    guard_test,
+    if_stmt,
+    key_in_record,
+    method_call,
+    name_load,
+    subscript_load,
+    subscript_store,
+)
+from repro.transform.names import NameAllocator
+
+
+def text(node) -> str:
+    return ast.unparse(node)
+
+
+class TestCodegen:
+    def test_assigns(self):
+        assert text(assign("x", ast.Constant(value=1))) == "x = 1"
+        assert text(assign_name_to_name("a", "b")) == "a = b"
+        assert text(empty_list_assign("t")) == "t = []"
+        assert text(empty_dict_assign("r")) == "r = {}"
+
+    def test_subscripts(self):
+        assert text(subscript_store("r", "v", name_load("v"))) == "r['v'] = v"
+        assert text(subscript_load("r", "h")) == "r['h']"
+
+    def test_key_in_record(self):
+        assert text(key_in_record("v", "rec")) == "'v' in rec"
+
+    def test_append(self):
+        assert text(append_call("tab", "rec")) == "tab.append(rec)"
+
+    def test_method_call_copies_receiver(self):
+        receiver = ast.parse("self.conn", mode="eval").body
+        call = method_call(receiver, "submit_query", [name_load("q")])
+        assert text(call) == "self.conn.submit_query(q)"
+        assert call.func.value is not receiver  # deep copy
+
+    def test_guard_test_single(self):
+        assert text(guard_test((Guard("c", True),))) == "c"
+        assert text(guard_test((Guard("c", False),))) == "not c"
+
+    def test_guard_test_conjunction(self):
+        test = guard_test((Guard("a", True), Guard("b", False)))
+        assert text(test) == "a and (not b)" or text(test) == "a and not b"
+
+    def test_guard_test_empty(self):
+        assert guard_test(()) is None
+
+    def test_emit_guarded_statement(self):
+        from repro.ir.purity import PurityEnv
+        from repro.ir.statements import make_stmt
+
+        stmt = make_stmt(
+            ast.parse("x = 1").body[0], PurityEnv(), None, (Guard("c", True),)
+        )
+        emitted = emit_stmt(stmt)
+        assert isinstance(emitted, ast.If)
+        assert text(emitted.test) == "c"
+
+    def test_emit_block_compiles(self):
+        from repro.ir.purity import PurityEnv
+        from repro.ir.statements import make_block
+
+        stmts = make_block(ast.parse("a = 1\nb = a + 1").body, PurityEnv())
+        module = ast.Module(body=emit_block(stmts), type_ignores=[])
+        ast.fix_missing_locations(module)
+        namespace: dict = {}
+        exec(compile(module, "<t>", "exec"), namespace)
+        assert namespace["b"] == 2
+
+    def test_if_stmt(self):
+        node = if_stmt(name_load("c"), [assign("x", ast.Constant(value=1))])
+        assert text(node) == "if c:\n    x = 1"
+
+
+class TestNameAllocator:
+    def test_avoids_existing_names(self):
+        tree = ast.parse("total_1 = 1\ndef helper(total_2): pass")
+        allocator = NameAllocator.for_tree(tree)
+        fresh = allocator.fresh("total")
+        assert fresh not in ("total_1", "total_2")
+
+    def test_sequential_uniqueness(self):
+        allocator = NameAllocator()
+        names = {allocator.fresh("v") for _ in range(50)}
+        assert len(names) == 50
+
+    def test_dunder_style(self):
+        allocator = NameAllocator()
+        assert allocator.fresh("__async_tab").startswith("__async_tab")
+
+    def test_reserve(self):
+        allocator = NameAllocator()
+        allocator.reserve("v_1")
+        assert allocator.fresh("v") != "v_1"
+
+    def test_contains(self):
+        allocator = NameAllocator(["x"])
+        assert "x" in allocator
+        fresh = allocator.fresh("y")
+        assert fresh in allocator
+
+    def test_collects_attributes_and_classes(self):
+        tree = ast.parse("class C:\n    pass\nobj.field_1 = 2")
+        allocator = NameAllocator.for_tree(tree)
+        assert "C" in allocator
+        assert "field_1" in allocator

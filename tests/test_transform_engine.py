@@ -1,0 +1,280 @@
+"""End-to-end engine tests on the paper's examples: structure + report."""
+
+import ast
+
+import pytest
+
+from repro.transform import (
+    REASON_CONTROL,
+    REASON_RECURSION,
+    REASON_TRUE_CYCLE,
+    TransformEngine,
+    asyncify_source,
+)
+from repro.workloads.paper_examples import ALL_EXAMPLES
+
+
+def transform(number, **kwargs):
+    return asyncify_source(ALL_EXAMPLES[number], **kwargs)
+
+
+class TestExample1:
+    def test_straight_line_code_untouched(self):
+        """Example 1 is straight-line (no loop): our tool, like the
+        paper's, targets loops — the code is left as-is and no loop
+        opportunity is reported."""
+        result = transform(1)
+        assert result.reports == []
+        assert "execute_query" in result.source
+
+
+class TestExample2:
+    def test_two_loops_generated(self):
+        result = transform(2)
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        loops = [n for n in function.body if isinstance(n, (ast.While, ast.For))]
+        assert len(loops) == 2
+        assert isinstance(loops[0], ast.While)
+        assert isinstance(loops[1], ast.For)
+
+    def test_submit_before_fetch(self):
+        result = transform(2)
+        assert result.source.index("submit_query") < result.source.index("fetch_result")
+        assert result.transformed_loops == 1
+
+    def test_prepared_binding_stays_in_submit_loop(self):
+        result = transform(2)
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        loops = [n for n in function.body if isinstance(n, (ast.While, ast.For))]
+        assert "bind" in ast.unparse(loops[0])
+        assert "bind" not in ast.unparse(loops[1])
+
+
+class TestExample4:
+    def test_guards_spilled_and_restored(self):
+        result = transform(4)
+        assert result.transformed_loops == 1
+        # guard value stored in the record and consulted in loop 2
+        assert "__cv" in result.source
+        assert "'__handle' in" in result.source
+
+    def test_log_moves_to_fetch_loop(self):
+        result = transform(4)
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        loops = [n for n in function.body if isinstance(n, (ast.While, ast.For))]
+        submit_loop = next(n for n in loops if "submit" in ast.unparse(n))
+        fetch_loop = next(n for n in loops if "fetch_result" in ast.unparse(n))
+        assert "log" not in ast.unparse(submit_loop)
+        assert "log" in ast.unparse(fetch_loop)
+
+
+class TestExample5:
+    def test_nested_tables(self):
+        result = transform(5)
+        assert result.transformed_loops == 2
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        outer_loops = [n for n in function.body if isinstance(n, (ast.While, ast.For))]
+        assert len(outer_loops) == 2
+        # the outer fetch loop contains the inner fetch loop
+        fetch_outer = outer_loops[1]
+        inner = [n for n in ast.walk(fetch_outer) if isinstance(n, ast.For)]
+        assert len(inner) >= 2  # itself + nested fetch loop
+
+    def test_all_submits_precede_all_fetches(self):
+        result = transform(5)
+        assert result.source.index("submit_query") < result.source.index("fetch_result")
+
+
+class TestExample6:
+    def test_reordered_then_split(self):
+        result = transform(6)
+        assert result.transformed_loops == 1
+        report = result.reports[0]
+        outcome = next(o for o in report.outcomes if o.status == "transformed")
+        assert outcome.reorder_moves > 0
+
+    def test_reorder_disabled_blocks(self):
+        result = transform(6, reorder=False)
+        assert result.transformed_loops == 0
+        report = result.reports[0]
+        assert any("precondition" in o.reason for o in report.outcomes)
+
+
+class TestExample8:
+    def test_reader_stub_in_output(self):
+        result = transform(8)
+        assert result.transformed_loops == 1
+        outcome = next(
+            o for r in result.reports for o in r.outcomes if o.status == "transformed"
+        )
+        assert outcome.reader_stubs >= 1
+
+
+class TestExample9:
+    def test_stack_dfs_transformed(self):
+        result = transform(9)
+        assert result.transformed_loops == 1
+        # the stack maintenance must end up in the submit loop
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        loops = [n for n in function.body if isinstance(n, (ast.While, ast.For))]
+        submit_loop = next(n for n in loops if "submit" in ast.unparse(n))
+        assert "extend" in ast.unparse(submit_loop)
+
+
+class TestExample10:
+    def test_guarded_program_transformed(self):
+        result = transform(10)
+        assert result.transformed_loops == 1
+        outcome = next(
+            o for r in result.reports for o in r.outcomes if o.status == "transformed"
+        )
+        assert outcome.reader_stubs + outcome.writer_stubs >= 2
+
+
+class TestExample11:
+    def test_partial_transformation(self):
+        result = transform(11)
+        assert result.transformed_loops == 1
+        outcomes = [o for r in result.reports for o in r.outcomes]
+        blocked = [o for o in outcomes if o.status == "blocked"]
+        transformed = [o for o in outcomes if o.status == "transformed"]
+        assert len(blocked) == 1
+        assert blocked[0].reason == REASON_TRUE_CYCLE
+        assert len(transformed) == 1
+        # the manager query stays blocking in the submit loop
+        assert "execute_query" in result.source
+        assert "submit_query" in result.source
+
+
+class TestStructuralBlockers:
+    def test_recursion_blocked(self):
+        result = asyncify_source(
+            """
+def walk(conn, nodes):
+    out = []
+    for node in nodes:
+        r = conn.execute_query(q, [node])
+        out.extend(walk(conn, r.rows))
+    return out
+"""
+        )
+        assert result.transformed_loops == 0
+        assert result.reports[0].blocked_reason == REASON_RECURSION
+
+    def test_return_in_loop_blocked(self):
+        result = asyncify_source(
+            """
+def find(conn, items):
+    for item in items:
+        r = conn.execute_query(q, [item])
+        if r:
+            return item
+    return None
+"""
+        )
+        assert result.transformed_loops == 0
+        assert result.reports[0].blocked_reason == REASON_CONTROL
+
+    def test_break_in_loop_blocked(self):
+        result = asyncify_source(
+            """
+def scan(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query(q, [item])
+        if bad(r):
+            break
+        out.append(r)
+    return out
+"""
+        )
+        assert result.transformed_loops == 0
+
+    def test_break_in_nested_loop_does_not_block_outer(self):
+        result = asyncify_source(
+            """
+def scan(conn, groups):
+    out = []
+    for group in groups:
+        for item in group:
+            if item is None:
+                break
+            prep(item)
+        r = conn.execute_query(q, [group])
+        out.append(r)
+    return out
+"""
+        )
+        # the inner loop owns the break; the outer query loop transforms
+        assert any(report.transformed for report in result.reports)
+
+    def test_loop_without_queries_ignored(self):
+        result = asyncify_source(
+            """
+def pure(items):
+    total = 0
+    for item in items:
+        total += item
+    return total
+"""
+        )
+        assert result.reports == []
+        assert "for item in items" in result.source
+
+
+class TestMultipleQueries:
+    def test_three_independent_queries_cascade(self):
+        result = asyncify_source(
+            """
+def three(conn, items):
+    out = []
+    for item in items:
+        a = conn.execute_query(qa, [item])
+        b = conn.execute_query(qb, [item])
+        c = conn.execute_query(qc, [item])
+        out.append((a, b, c))
+    return out
+"""
+        )
+        assert result.source.count("submit_query") == 3
+        assert result.source.count("fetch_result") == 3
+        report = result.reports[0]
+        assert sum(1 for o in report.outcomes if o.status == "transformed") == 3
+
+    def test_dependent_query_chain(self):
+        result = asyncify_source(
+            """
+def chain(conn, items):
+    out = []
+    for item in items:
+        a = conn.execute_query(qa, [item])
+        b = conn.execute_query(qb, [a])
+        out.append(b)
+    return out
+"""
+        )
+        # both are transformable: the first fission puts qb in the fetch
+        # loop, which is then split again
+        report = result.reports[0]
+        assert sum(1 for o in report.outcomes if o.status == "transformed") == 2
+
+
+class TestEngineConfig:
+    def test_window_engine(self):
+        engine = TransformEngine(window=16)
+        result = engine.transform_source(ALL_EXAMPLES[2])
+        assert "< 16" in result.source
+
+    def test_elapsed_recorded(self):
+        result = transform(2)
+        assert 0 < result.elapsed_s < 5
+
+    def test_summary_text(self):
+        text = transform(11).summary()
+        assert "transformed" in text
+        assert "true-dependence-cycle" in text

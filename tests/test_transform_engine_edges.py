@@ -1,0 +1,225 @@
+"""Engine edge cases: compound containers, odd shapes, robustness."""
+
+import ast
+
+import pytest
+
+from repro.transform import asyncify_source
+from tests.helpers import FakeConnection, run_both
+
+
+class TestCompoundContainers:
+    def test_loop_inside_try(self):
+        source = """
+def program(conn, items):
+    out = []
+    try:
+        for item in items:
+            r = conn.execute_query("q", [item])
+            out.append(r.scalar())
+    finally:
+        out.append(-1)
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+        out_a, out_b, conn_a, conn_b, _ = run_both(
+            source, "program", lambda: ([1, 2, 3],)
+        )
+        assert out_a == out_b
+
+    def test_loop_inside_with(self):
+        source = """
+def program(conn, items, ctx):
+    out = []
+    with ctx:
+        for item in items:
+            r = conn.execute_query("q", [item])
+            out.append(r.scalar())
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+
+    def test_loop_inside_if(self):
+        source = """
+def program(conn, items, flag):
+    out = []
+    if flag:
+        for item in items:
+            r = conn.execute_query("q", [item])
+            out.append(r.scalar())
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+
+    def test_loop_in_except_handler(self):
+        source = """
+def program(conn, items):
+    out = []
+    try:
+        out.append(risky())
+    except ValueError:
+        for item in items:
+            r = conn.execute_query("q", [item])
+            out.append(r.scalar())
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+
+
+class TestOddShapes:
+    def test_while_true_with_break_blocked(self):
+        result = asyncify_source(
+            """
+def program(conn):
+    total = 0
+    while True:
+        r = conn.execute_query("q", [total])
+        total += r.scalar()
+        if total > 100:
+            break
+    return total
+"""
+        )
+        assert result.transformed_loops == 0
+
+    def test_query_in_loop_predicate_not_transformed(self):
+        result = asyncify_source(
+            """
+def program(conn, limit):
+    count = 0
+    while conn.execute_query("more", [count]).scalar() > 0:
+        count += 1
+    return count
+"""
+        )
+        assert result.transformed_loops == 0
+
+    def test_orelse_of_loop_preserved(self):
+        source = """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    done = True
+    return out, done
+"""
+        out_a, out_b, *_ = run_both(source, "program", lambda: ([1, 2],))
+        assert out_a == out_b
+
+    def test_pass_only_loop_body_with_query(self):
+        source = """
+def program(conn, items):
+    for item in items:
+        conn.execute_query("touch", [item])
+    return len(items)
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+        out_a, out_b, conn_a, conn_b, _ = run_both(
+            source, "program", lambda: ([5, 6, 7],)
+        )
+        assert out_a == out_b
+        assert conn_a.query_multiset() == conn_b.query_multiset()
+
+    def test_two_functions_in_one_module(self):
+        source = """
+def first(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q1", [item])
+        out.append(r.scalar())
+    return out
+
+def second(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q2", [item])
+        out.append(r.scalar())
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 2
+        assert result.source.count("submit_query") == 2
+
+    def test_nested_function_def_transformed_independently(self):
+        source = """
+def outer(conn, items):
+    def inner(conn2, xs):
+        out = []
+        for x in xs:
+            r = conn2.execute_query("q", [x])
+            out.append(r.scalar())
+        return out
+    return inner(conn, items)
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+
+    def test_keyword_arguments_in_query_call(self):
+        source = """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", params=[item])
+        out.append(r)
+    return out
+"""
+        result = asyncify_source(source)
+        assert result.transformed_loops == 1
+        assert "submit_query('q', params=[item])" in result.source
+
+    def test_empty_module(self):
+        result = asyncify_source("")
+        assert result.reports == []
+        assert result.source == ""
+
+    def test_idempotent_on_transformed_source(self):
+        source = """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+"""
+        once = asyncify_source(source)
+        twice = asyncify_source(once.source)
+        # the already-async loop offers no blocking queries
+        assert twice.transformed_loops == 0
+        assert twice.source.count("submit_query") == 1
+
+
+class TestReportFidelity:
+    def test_split_vars_reported(self):
+        result = asyncify_source(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        label = str(item)
+        r = conn.execute_query("q", [item])
+        out.append((item, label, r.scalar()))
+    return out
+"""
+        )
+        outcome = result.reports[0].outcomes[0]
+        assert "item" in outcome.split_vars
+        assert "label" in outcome.split_vars
+
+    def test_elapsed_and_counts(self):
+        result = asyncify_source(
+            """
+def program(conn, items):
+    for item in items:
+        conn.execute_query("q", [item])
+    return 0
+"""
+        )
+        assert result.opportunities == 1
+        assert result.transformed_loops == 1
+        assert result.elapsed_s > 0

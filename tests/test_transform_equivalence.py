@@ -1,0 +1,360 @@
+"""Observational equivalence: transformed programs behave identically.
+
+Every program here is executed twice — original and automatically
+transformed — against deterministic fake connections; results, final
+accumulators and the multiset of issued queries must match.  (Query
+*order* may legitimately change: that is the transformation's point.)
+"""
+
+import pytest
+
+from repro.transform.registry import default_registry
+from tests.helpers import FakeConnection, run_both
+
+
+def assert_equivalent(source, func_name, args_factory, **kwargs):
+    out_a, out_b, conn_a, conn_b, result = run_both(
+        source, func_name, args_factory, **kwargs
+    )
+    assert out_a == out_b
+    assert conn_a.query_multiset() == conn_b.query_multiset()
+    return result
+
+
+class TestBasicLoops:
+    def test_worklist_while(self):
+        result = assert_equivalent(
+            """
+def program(conn, items):
+    total = 0
+    while len(items) > 0:
+        item = items.pop()
+        r = conn.execute_query("q", [item])
+        total += r.scalar()
+    return total
+""",
+            "program",
+            lambda: ([3, 1, 4, 1, 5, 9, 2, 6],),
+        )
+        assert result.transformed_loops == 1
+
+    def test_for_with_accumulator_list(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append((item, r.scalar()))
+    return out
+""",
+            "program",
+            lambda: (list(range(12)),),
+        )
+
+    def test_empty_input(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: ([],),
+        )
+
+    def test_single_iteration(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: ([7],),
+        )
+
+    def test_value_threaded_through_iterations(self):
+        """Loop-carried accumulator consumed after the query."""
+        assert_equivalent(
+            """
+def program(conn, items):
+    best = -1
+    winners = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        v = r.scalar()
+        if v > best:
+            best = v
+            winners.append(item)
+    return best, winners
+""",
+            "program",
+            lambda: (list(range(20)),),
+        )
+
+
+class TestReorderedLoops:
+    def test_parent_chain(self):
+        assert_equivalent(
+            """
+def program(conn, start):
+    total = 0
+    current = start
+    while current > 0:
+        r = conn.execute_query("q", [current])
+        total += r.scalar()
+        current = current - 3
+    return total
+""",
+            "program",
+            lambda: (20,),
+        )
+
+    def test_stack_dfs(self):
+        assert_equivalent(
+            """
+def program(conn, children, roots):
+    stack = list(roots)
+    seen = []
+    while len(stack) > 0:
+        node = stack.pop()
+        r = conn.execute_query("visit", [node])
+        seen.append((node, r.scalar()))
+        kids = children.get(node, [])
+        stack.extend(kids)
+    return seen
+""",
+            "program",
+            lambda: ({0: [1, 2], 1: [3, 4], 2: [5]}, [0]),
+        )
+
+    def test_guarded_program_with_stubs(self):
+        assert_equivalent(
+            """
+def program(conn, n):
+    d = 0
+    a = 0
+    b = 0
+    c = 1
+    k = 0
+    trace = []
+    while k < n:
+        k = k + 1
+        cv1 = k % 2 == 0
+        cv2 = k % 3 == 0
+        cv3 = k % 5 == 0
+        if cv1:
+            r = conn.execute_query("q", [b])
+            a = r.scalar()
+        if cv2:
+            a = a + c
+            c = c + 1
+        d = a + b
+        trace.append(d)
+        if cv3:
+            a = a - 1
+            b = b + 2
+    return d, a, b, c, trace
+""",
+            "program",
+            lambda: (30,),
+        )
+
+
+class TestGuardedQueries:
+    def test_conditional_query(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        v = item * 2
+        if item % 3 == 0:
+            r = conn.execute_query("q", [item])
+            v = r.scalar()
+        out.append(v)
+    return out
+""",
+            "program",
+            lambda: (list(range(15)),),
+        )
+
+    def test_if_else_queries(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        if item % 2 == 0:
+            r = conn.execute_query("even", [item])
+        else:
+            r = conn.execute_query("odd", [item])
+        out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(10)),),
+        )
+
+    def test_nested_guards(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        if item > 3:
+            if item % 2 == 0:
+                r = conn.execute_query("q", [item])
+                out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(12)),),
+        )
+
+
+class TestNestedLoops:
+    def test_nested_fission(self):
+        assert_equivalent(
+            """
+def program(conn, groups):
+    out = []
+    for group in groups:
+        for item in group:
+            r = conn.execute_query("q", [item])
+            out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: ([[1, 2], [3], [], [4, 5, 6]],),
+        )
+
+    def test_nested_with_outer_state(self):
+        assert_equivalent(
+            """
+def program(conn, groups):
+    sums = []
+    for group in groups:
+        total = 0
+        for item in group:
+            r = conn.execute_query("q", [item])
+            total += r.scalar()
+        sums.append(total)
+    return sums
+""",
+            "program",
+            lambda: ([[1, 2, 3], [4], [5, 6]],),
+        )
+
+
+class TestUpdates:
+    def test_commuting_updates_same_final_state(self):
+        registry = default_registry().with_effect("execute_update", "commuting_write")
+        out_a, out_b, conn_a, conn_b, _result = run_both(
+            """
+def program(conn, n):
+    i = 0
+    while i < n:
+        conn.execute_update("ins", [i])
+        i = i + 1
+    return i
+""",
+            "program",
+            lambda: (25,),
+            registry=registry,
+        )
+        assert out_a == out_b == 25
+        assert sorted(conn_a.updates) == sorted(conn_b.updates)
+
+    def test_plain_updates_stay_blocking(self):
+        _out_a, _out_b, _conn_a, conn_b, result = run_both(
+            """
+def program(conn, n):
+    i = 0
+    while i < n:
+        conn.execute_update("ins", [i])
+        i = i + 1
+    return i
+""",
+            "program",
+            lambda: (5,),
+        )
+        assert result.transformed_loops == 0
+        # untransformed: still executes via the blocking call
+        assert all(kind == "update" for kind, _sql, _params in conn_b.calls)
+
+
+class TestChainedQueries:
+    def test_dependent_pair(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        a = conn.execute_query("first", [item])
+        b = conn.execute_query("second", [a.scalar()])
+        out.append(b.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(8)),),
+        )
+
+    def test_partial_cycle(self):
+        assert_equivalent(
+            """
+def program(conn, seed):
+    total = 0
+    current = seed
+    steps = 0
+    while steps < 6:
+        nxt = conn.execute_query("walk", [current])
+        extra = conn.execute_query("score", [current])
+        total += extra.scalar()
+        current = nxt.scalar() % 50
+        steps = steps + 1
+    return total, current
+""",
+            "program",
+            lambda: (11,),
+        )
+
+
+class TestThreadedExecution:
+    def test_real_concurrency_matches(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(40)),),
+            threaded=True,
+        )
+
+    def test_windowed_threaded(self):
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(40)),),
+            threaded=True,
+            window=8,
+        )

@@ -1,0 +1,127 @@
+"""Unit tests: bounded-window (pipelined) fission."""
+
+import ast
+
+import pytest
+
+from repro.transform import asyncify_source
+from tests.helpers import FakeConnection
+
+FOR_PROGRAM = """
+def program(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+"""
+
+WHILE_PROGRAM = """
+def program(conn, items):
+    total = 0
+    while len(items) > 0:
+        item = items.pop()
+        r = conn.execute_query("q", [item])
+        total += r.scalar()
+    return total
+"""
+
+IMPURE_PREDICATE_PROGRAM = """
+def program(conn, cursor):
+    total = 0
+    while cursor.advance():
+        r = conn.execute_query("q", [1])
+        total += r.scalar()
+    return total
+"""
+
+
+def run(source, args):
+    namespace: dict = {}
+    exec(compile(source, "<p>", "exec"), namespace)
+    return namespace["program"](FakeConnection(), *args)
+
+
+class TestWindowStructure:
+    def test_for_loop_hoists_iterator(self):
+        result = asyncify_source(FOR_PROGRAM, window=5)
+        assert "iter(items)" in result.source
+        assert "< 5" in result.source or ">= 5" in result.source
+
+    def test_while_loop_bounded_inner(self):
+        result = asyncify_source(WHILE_PROGRAM, window=7)
+        assert "< 7" in result.source
+        tree = ast.parse(result.source)
+        function = tree.body[0]
+        outer = [n for n in function.body if isinstance(n, ast.While)]
+        assert len(outer) == 1
+        inner_whiles = [
+            n for n in ast.walk(outer[0]) if isinstance(n, ast.While)
+        ]
+        assert len(inner_whiles) == 2  # outer + bounded submit loop
+
+    def test_impure_predicate_falls_back_to_unbounded(self):
+        result = asyncify_source(IMPURE_PREDICATE_PROGRAM, window=4)
+        # still transformed, but without the window wrapper
+        assert result.transformed_loops == 1
+        assert "< 4" not in result.source
+
+
+class TestWindowSemantics:
+    @pytest.mark.parametrize("window", [1, 2, 3, 5, 100])
+    @pytest.mark.parametrize("count", [0, 1, 4, 5, 6, 13])
+    def test_for_all_boundary_sizes(self, window, count):
+        plain = run(FOR_PROGRAM, (list(range(count)),))
+        result = asyncify_source(FOR_PROGRAM, window=window)
+        assert run(result.source, (list(range(count)),)) == plain
+
+    @pytest.mark.parametrize("window", [1, 3, 8])
+    @pytest.mark.parametrize("count", [0, 1, 7, 8, 9])
+    def test_while_all_boundary_sizes(self, window, count):
+        plain = run(WHILE_PROGRAM, (list(range(count)),))
+        result = asyncify_source(WHILE_PROGRAM, window=window)
+        assert run(result.source, (list(range(count)),)) == plain
+
+    def test_window_bounds_in_flight_records(self):
+        """With a threaded connection, at most ``window`` submissions can
+        be outstanding before a fetch happens."""
+        events = []
+
+        class TracingConnection(FakeConnection):
+            def submit_query(self, query, params=()):
+                events.append("submit")
+                return super().submit_query(query, params)
+
+            def fetch_result(self, handle):
+                events.append("fetch")
+                return super().fetch_result(handle)
+
+        result = asyncify_source(FOR_PROGRAM, window=3)
+        namespace: dict = {}
+        exec(compile(result.source, "<p>", "exec"), namespace)
+        namespace["program"](TracingConnection(), list(range(10)))
+        outstanding = 0
+        peak = 0
+        for event in events:
+            outstanding += 1 if event == "submit" else -1
+            peak = max(peak, outstanding)
+        assert peak <= 3
+
+    def test_unbounded_has_unbounded_peak(self):
+        events = []
+
+        class TracingConnection(FakeConnection):
+            def submit_query(self, query, params=()):
+                events.append("submit")
+                return super().submit_query(query, params)
+
+            def fetch_result(self, handle):
+                events.append("fetch")
+                return super().fetch_result(handle)
+
+        result = asyncify_source(FOR_PROGRAM)
+        namespace: dict = {}
+        exec(compile(result.source, "<p>", "exec"), namespace)
+        namespace["program"](TracingConnection(), list(range(10)))
+        prefix = [event for event in events[:10]]
+        assert prefix == ["submit"] * 10

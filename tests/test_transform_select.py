@@ -1,0 +1,58 @@
+"""Tests: the Section VII user-selection of query statements."""
+
+from repro.transform import asyncify_source
+from tests.helpers import FakeConnection, run_both
+
+TWO_QUERY_SOURCE = """
+def two(conn, items):
+    out = []
+    for item in items:
+        a = conn.execute_query("qa", [item])
+        b = conn.execute_query("qb", [item])
+        out.append((a.scalar(), b.scalar()))
+    return out
+"""
+
+
+class TestSelection:
+    def test_select_one_of_two(self):
+        result = asyncify_source(
+            TWO_QUERY_SOURCE, select=lambda fn, label: "qb" in label
+        )
+        assert result.source.count("submit_query") == 1
+        assert "'qa'" in result.source.replace('"', "'")
+        outcomes = [o for r in result.reports for o in r.outcomes]
+        assert any(o.reason == "not-selected" for o in outcomes)
+
+    def test_select_none_leaves_code_unchanged(self):
+        result = asyncify_source(TWO_QUERY_SOURCE, select=lambda fn, label: False)
+        assert "submit_query" not in result.source
+        assert result.transformed_loops == 0
+
+    def test_select_by_function_name(self):
+        source = TWO_QUERY_SOURCE + """
+def other(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("qc", [item])
+        out.append(r.scalar())
+    return out
+"""
+        result = asyncify_source(source, select=lambda fn, label: fn == "other")
+        assert result.source.count("submit_query") == 1
+        assert "qc" in result.source
+
+    def test_selected_transformation_is_equivalent(self):
+        out_a, out_b, conn_a, conn_b, result = run_both(
+            TWO_QUERY_SOURCE,
+            "two",
+            lambda: (list(range(8)),),
+        )
+        assert out_a == out_b
+        partial = asyncify_source(
+            TWO_QUERY_SOURCE, select=lambda fn, label: "qa" in label
+        )
+        namespace: dict = {}
+        exec(compile(partial.source, "<p>", "exec"), namespace)
+        conn_c = FakeConnection()
+        assert namespace["two"](conn_c, list(range(8))) == out_a

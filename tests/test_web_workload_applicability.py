@@ -1,0 +1,43 @@
+"""Applicability of the rules to web-service loops (paper Section VI,
+Experiment 5: "the techniques are general in their applicability")."""
+
+from repro.analysis.applicability import analyze_functions
+from repro.workloads import moviegraph
+
+
+class TestWebApplicability:
+    def test_web_loops_transform(self):
+        report = analyze_functions(
+            [
+                moviegraph.collect_filmographies,
+                moviegraph.movie_years,
+                moviegraph.actor_movie_listing,
+            ],
+            "MovieGraph",
+        )
+        assert report.opportunities == 3
+        assert report.transformed == 3
+
+    def test_web_and_db_resources_are_distinct(self):
+        """A loop mixing a web read with a db update must not conflate
+        the two external resources."""
+        from repro.transform import asyncify_source
+
+        result = asyncify_source(
+            """
+def mixed(client, conn, actor_ids):
+    out = []
+    for actor_id in actor_ids:
+        entity = client.get_entity(actor_id)
+        conn.execute_update("log_access", [actor_id])
+        out.append(entity)
+    return out
+"""
+        )
+        # The web read transforms; the non-commuting db update blocks
+        # only itself (different resource).
+        outcomes = [o for r in result.reports for o in r.outcomes]
+        transformed = [o for o in outcomes if o.status == "transformed"]
+        blocked = [o for o in outcomes if o.status == "blocked"]
+        assert any("get_entity" in o.label for o in transformed)
+        assert any("execute_update" in o.label for o in blocked)

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs.
+
+Metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``)
+on environments whose setuptools predates native wheel support.
+"""
+
+from setuptools import setup
+
+setup()

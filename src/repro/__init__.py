@@ -51,6 +51,14 @@ from .db import (
     TransactionError,
 )
 from .ir.purity import PurityEnv
+from .prefetch import (
+    CacheStats,
+    PrefetchInserter,
+    PrefetchSite,
+    ResultCache,
+    prefetch_source,
+    tables_touched,
+)
 from .runtime import (
     AioConnection,
     AsyncExecutor,
@@ -72,7 +80,7 @@ from .transform import (
 )
 from .web import EntityGraphService, WebLatency, WebServiceClient
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApplicabilityReport",
@@ -91,6 +99,12 @@ __all__ = [
     "Transaction",
     "TransactionError",
     "PurityEnv",
+    "CacheStats",
+    "PrefetchInserter",
+    "PrefetchSite",
+    "ResultCache",
+    "prefetch_source",
+    "tables_touched",
     "AioConnection",
     "aio_connect",
     "AsyncExecutor",

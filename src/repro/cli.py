@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.applicability import analyze_source
-from .transform import asyncify_source
+from .transform import asyncify_source, prefetch_source
 from .transform.errors import TransformError
 
 
@@ -24,6 +24,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Rewrite blocking query loops for asynchronous submission "
             "(Chavan et al., ICDE 2011)."
         ),
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument("source", help="Python source file to transform")
     parser.add_argument(
@@ -47,6 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound in-flight submissions per loop (Discussion section)",
     )
     parser.add_argument(
+        "--prefetch", action="store_true",
+        help=(
+            "additionally run prefetch insertion: hoist remaining "
+            "straight-line query submissions to their earliest safe "
+            "point (repro.prefetch)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help=(
+            "embed a __repro_prefetch__ result-cache capacity hint in "
+            "the output (requires --prefetch)"
+        ),
+    )
+    parser.add_argument(
         "--commuting-updates", action="store_true",
         help="declare execute_update calls commutative (Experiment 4)",
     )
@@ -62,7 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_size is not None:
+        if not args.prefetch:
+            parser.error("--cache-size requires --prefetch")
+        if args.cache_size < 1:
+            parser.error(f"--cache-size must be >= 1, got {args.cache_size}")
     path = Path(args.source)
     try:
         source = path.read_text()
@@ -86,18 +112,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
-        result = asyncify_source(
-            source,
-            registry=registry,
-            reorder=not args.no_reorder,
-            window=args.window,
-        )
+        if args.prefetch:
+            result = prefetch_source(
+                source,
+                registry=registry,
+                reorder=not args.no_reorder,
+                window=args.window,
+                cache_size=args.cache_size,
+            )
+        else:
+            result = asyncify_source(
+                source,
+                registry=registry,
+                reorder=not args.no_reorder,
+                window=args.window,
+            )
     except (TransformError, SyntaxError) as exc:
         print(f"repro: transformation failed: {exc}", file=sys.stderr)
         return 1
 
     if args.output:
-        Path(args.output).write_text(result.source + "\n")
+        try:
+            Path(args.output).write_text(result.source + "\n")
+        except OSError as exc:
+            print(f"repro: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
     else:
         print(result.source)
     if args.report:

@@ -22,8 +22,10 @@ from ..db.plan import QueryResult
 from ..db.server import DatabaseServer, PreparedStatement
 from ..db.sql.ast_nodes import is_write
 from ..db.txn import Transaction
+from ..prefetch.cache import ResultCache
+from ..prefetch.tables import tables_of_statement
 from ..runtime.executor import AsyncExecutor
-from ..runtime.handles import QueryHandle
+from ..runtime.handles import QueryHandle, completed_handle
 
 
 @dataclass
@@ -31,6 +33,7 @@ class ConnectionStats:
     blocking_calls: int = 0
     async_submits: int = 0
     fetches: int = 0
+    cache_hits: int = 0
 
 
 class PreparedQuery:
@@ -94,7 +97,12 @@ class Connection:
     paper's experiments.
     """
 
-    def __init__(self, server: DatabaseServer, async_workers: int = 10) -> None:
+    def __init__(
+        self,
+        server: DatabaseServer,
+        async_workers: int = 10,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
         self._server = server
         self._executor = AsyncExecutor(
             async_workers,
@@ -103,6 +111,7 @@ class Connection:
         )
         self._closed = False
         self._txn: Optional[Transaction] = None
+        self._cache = result_cache
         self.stats = ConnectionStats()
 
     # ------------------------------------------------------------------
@@ -123,6 +132,11 @@ class Connection:
     def executor(self) -> AsyncExecutor:
         return self._executor
 
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The shared query-result cache, when one is attached."""
+        return self._cache
+
     # ------------------------------------------------------------------
     # preparation
     # ------------------------------------------------------------------
@@ -137,13 +151,37 @@ class Connection:
         """Submit and wait: the paper's ``executeQuery``.
 
         Pays one full network round trip plus the server-side execution
-        time, in the calling thread.
+        time, in the calling thread.  With a :class:`ResultCache`
+        attached, repeated reads outside transactions are served locally
+        (a hit pays no round trip at all) and concurrent identical reads
+        share one in-flight execution.
         """
         self._ensure_open()
         self.stats.blocking_calls += 1
         prepared, bound = self._resolve(query, params)
+        key = self._cache_key(prepared, bound) if self._cache is not None else None
+        if key is not None:
+            lease = self._cache.acquire(key, tables_of_statement(prepared.ast))
+            if lease.is_hit:
+                self.stats.cache_hits += 1
+                return lease.value
+            if lease.is_follower:
+                self.stats.cache_hits += 1
+                return lease.wait()
+            try:
+                self._charge_network()
+                result = self._server.submit_prepared(
+                    prepared, bound, txn=self._txn
+                ).result()
+            except BaseException as exc:
+                self._cache.fail(lease, exc)
+                raise
+            return self._cache.complete(lease, result)
         self._charge_network()
-        return self._server.submit_prepared(prepared, bound, txn=self._txn).result()
+        result = self._server.submit_prepared(prepared, bound, txn=self._txn).result()
+        if self._cache is not None:
+            self._invalidate_for_write(prepared)
+        return result
 
     def execute_update(self, query: Query, params: Sequence = ()) -> QueryResult:
         """Blocking DML execution (alias kept distinct so the transform
@@ -182,19 +220,51 @@ class Connection:
             from ..runtime.handles import failed_handle
 
             return failed_handle(exc)
+        lease = None
+        key = self._cache_key(prepared, bound) if self._cache is not None else None
+        if key is not None:
+            lease = self._cache.acquire(key, tables_of_statement(prepared.ast))
+            if lease.is_hit:
+                self.stats.cache_hits += 1
+                return completed_handle(lease.value)
+            if lease.is_follower:
+                # Single flight: share the in-flight execution's future.
+                self.stats.cache_hits += 1
+                return QueryHandle(lease.future, label=prepared.sql[:40])
+            # Owner: fall through to a real submission that publishes
+            # its result into the cache on completion.
         self._server.meter.charge("queue", self._server.profile.send_overhead_s)
         if txn is not None:
             txn.enter_async()
 
         def task() -> QueryResult:
             try:
-                self._charge_network()
-                return self._server.submit_prepared(prepared, bound, txn=txn).result()
+                try:
+                    self._charge_network()
+                    result = self._server.submit_prepared(
+                        prepared, bound, txn=txn
+                    ).result()
+                except BaseException as exc:
+                    if lease is not None:
+                        self._cache.fail(lease, exc)
+                    raise
+                if lease is not None:
+                    self._cache.complete(lease, result)
+                else:
+                    self._invalidate_for_write(prepared)
+                return result
             finally:
                 if txn is not None:
                     txn.exit_async()
 
-        return self._executor.submit(task, label=prepared.sql[:40])
+        try:
+            return self._executor.submit(task, label=prepared.sql[:40])
+        except BaseException as exc:
+            # Never strand single-flight followers on a submission that
+            # could not even be queued.
+            if lease is not None:
+                self._cache.fail(lease, exc)
+            raise
 
     def submit_update(self, query: Query, params: Sequence = ()) -> QueryHandle:
         return self.submit_query(query, params)
@@ -274,6 +344,29 @@ class Connection:
         if isinstance(query, str):
             return self._server.prepare(query), tuple(params)
         raise DatabaseError(f"not a query: {query!r}")
+
+    def _cache_key(self, prepared: PreparedStatement, bound: tuple):
+        """Cache key for a read, or None when the cache must be bypassed.
+
+        Transactions bypass the cache entirely: their reads run under
+        the transaction's locks and may observe its own uncommitted
+        writes, neither of which may leak into shared cached results.
+        """
+        if self._cache is None or self._txn is not None:
+            return None
+        if is_write(prepared.ast):
+            return None
+        try:
+            hash(bound)
+        except TypeError:
+            return None
+        return (prepared.sql, bound)
+
+    def _invalidate_for_write(self, prepared: PreparedStatement) -> None:
+        """Write-driven invalidation: DML/DDL drops cached readers of
+        its table (rollbacks over-invalidate, which is safe)."""
+        if self._cache is not None and is_write(prepared.ast):
+            self._cache.invalidate_table(getattr(prepared.ast, "table", None))
 
     def _charge_network(self) -> None:
         rtt = self._server.profile.network_rtt_s

@@ -106,11 +106,18 @@ class Database:
     # ------------------------------------------------------------------
     # connections
     # ------------------------------------------------------------------
-    def connect(self, async_workers: int = 10):
-        """Open a client connection (imported lazily to avoid a cycle)."""
+    def connect(self, async_workers: int = 10, result_cache=None):
+        """Open a client connection (imported lazily to avoid a cycle).
+
+        ``result_cache`` attaches a shared
+        :class:`repro.prefetch.cache.ResultCache`; pass the same
+        instance to several connections to share hits across requests.
+        """
         from ..client.connection import Connection
 
-        return Connection(self.server, async_workers=async_workers)
+        return Connection(
+            self.server, async_workers=async_workers, result_cache=result_cache
+        )
 
     # ------------------------------------------------------------------
     # administration

@@ -1,0 +1,38 @@
+"""Prefetching and query-result caching.
+
+The natural follow-on to asynchronous submission (Chavan et al., ICDE
+2011): once submissions are non-blocking, (a) move them to the earliest
+program point the data dependences allow — even above the conditional or
+loop that consumes them — and (b) serve repeated ``(sql, params)`` pairs
+from a shared, write-invalidated result cache instead of re-executing
+them.
+
+* :mod:`repro.prefetch.cache`     — :class:`ResultCache`: single-flight,
+  bounded LRU, write-driven invalidation, hit/miss/eviction stats.
+* :mod:`repro.prefetch.tables`    — SQL → touched-tables mapping used by
+  the invalidation path (wildcard fallback for unknown text).
+* :mod:`repro.prefetch.insertion` — the prefetch-insertion transform and
+  the :func:`prefetch_source` front end.
+
+Runtime wiring lives in :class:`repro.client.connection.Connection`
+(``result_cache=`` / ``Database.connect(result_cache=...)``): cache-aware
+``execute_query``/``submit_query`` for reads, table invalidation on every
+write, transactions always bypassing the cache.
+"""
+
+from .cache import CacheStats, Lease, ResultCache, WILDCARD_TABLE
+from .insertion import PrefetchInserter, PrefetchSite, prefetch_source
+from .tables import tables_of_statement, tables_touched, written_table
+
+__all__ = [
+    "CacheStats",
+    "Lease",
+    "ResultCache",
+    "WILDCARD_TABLE",
+    "PrefetchInserter",
+    "PrefetchSite",
+    "prefetch_source",
+    "tables_of_statement",
+    "tables_touched",
+    "written_table",
+]

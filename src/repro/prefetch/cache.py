@@ -1,0 +1,291 @@
+"""Shared query-result cache with single-flight deduplication.
+
+The prefetch transformation moves ``submit_query`` calls to the earliest
+safe program point; under heavy read-mostly traffic many of those
+submissions repeat the same ``(sql, params)`` pair.  :class:`ResultCache`
+turns the repeats into client-local lookups:
+
+* **single-flight** — concurrent identical submissions share one
+  in-flight computation: the first caller becomes the *owner* and
+  executes the query, every other caller becomes a *follower* waiting on
+  the owner's future (the classic groupcache/singleflight protocol);
+* **bounded LRU** — completed entries are kept up to ``capacity``,
+  least-recently-used evicted first; in-flight entries are pinned;
+* **write-driven invalidation** — a DML/DDL statement against a table
+  drops every cached result that reads that table (results whose table
+  set is unknown carry the wildcard and are dropped on *any* write);
+* **stats** — hits, misses, evictions, invalidations and single-flight
+  joins, plus a derived hit rate for benchmark reporting.
+
+The cache stores whatever result object the executor produces and hands
+the *same object* back on a hit — callers must treat cached results as
+read-only (our ``QueryResult`` is only ever consumed that way).
+
+A single instance may be shared by any number of connections **to the
+same server**: keys are ``(sql, params)`` and carry no server identity.
+
+Thread-safety: one lock guards the entry map; waiting for an in-flight
+result happens on a ``concurrent.futures.Future`` outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+#: Table marker for results whose read set could not be determined.
+#: Wildcard entries are invalidated by a write to *any* table.
+WILDCARD_TABLE = "*"
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for benchmark reporting and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: Hits that joined an in-flight computation instead of reading a
+    #: completed entry (single-flight shares).
+    shared_flights: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    """One cached (or in-flight) result."""
+
+    __slots__ = ("key", "tables", "future", "doomed", "published")
+
+    def __init__(self, key: Hashable, tables: FrozenSet[str]) -> None:
+        self.key = key
+        self.tables = tables
+        self.future: "Future[Any]" = Future()
+        #: Set when a conflicting write lands while the load is still in
+        #: flight: current waiters are served, but the value is not kept.
+        self.doomed = False
+        #: Set (under the cache lock) once the value is retained — the
+        #: authority for the completed-entry count and evictability.
+        self.published = False
+
+
+class Lease:
+    """Outcome of one :meth:`ResultCache.acquire` call.
+
+    Exactly one of three states:
+
+    * ``is_hit`` — ``value`` holds the cached result;
+    * ``is_owner`` — the caller must execute the query and then call
+      :meth:`ResultCache.complete` (or :meth:`ResultCache.fail`);
+    * otherwise the caller is a *follower*: ``wait()`` blocks until the
+      owner finishes (``future`` can instead be wrapped in a handle).
+    """
+
+    __slots__ = ("_state", "_value", "entry")
+
+    _HIT = "hit"
+    _OWNER = "owner"
+    _FOLLOWER = "follower"
+
+    def __init__(self, state: str, value: Any = None, entry: Optional[_Entry] = None):
+        self._state = state
+        self._value = value
+        self.entry = entry
+
+    @property
+    def is_hit(self) -> bool:
+        return self._state == self._HIT
+
+    @property
+    def is_owner(self) -> bool:
+        return self._state == self._OWNER
+
+    @property
+    def is_follower(self) -> bool:
+        return self._state == self._FOLLOWER
+
+    @property
+    def value(self) -> Any:
+        if not self.is_hit:
+            raise ValueError("lease is not a hit")
+        return self._value
+
+    @property
+    def future(self) -> "Future[Any]":
+        if self.entry is None:
+            raise ValueError("lease carries no in-flight entry")
+        return self.entry.future
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the owning computation finishes; re-raises its
+        error (followers observe the owner's failure, like any caller
+        of the underlying request)."""
+        return self.future.result(timeout)
+
+
+class ResultCache:
+    """Bounded LRU cache of query results keyed by ``(sql, params)``."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        #: Entries in ``_entries`` whose value is published (complete and
+        #: retained) — the population the LRU capacity bounds.  In-flight
+        #: entries are excluded: they are pinned, not evictable.
+        self._completed = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # the single-flight protocol
+    # ------------------------------------------------------------------
+    def acquire(
+        self, key: Hashable, tables: Optional[Iterable[str]] = None
+    ) -> Lease:
+        """Look up ``key``; returns a hit, a follower join, or ownership.
+
+        ``tables`` names the tables the query reads (used by
+        write-driven invalidation); None means unknown → wildcard.
+        """
+        table_set = (
+            frozenset(tables) if tables is not None else frozenset({WILDCARD_TABLE})
+        ) or frozenset({WILDCARD_TABLE})
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if not entry.future.done():
+                    self.stats.hits += 1
+                    self.stats.shared_flights += 1
+                    return Lease(Lease._FOLLOWER, entry=entry)
+                error = entry.future.exception()
+                if error is None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return Lease(Lease._HIT, value=entry.future.result())
+                # A failed entry should have been removed; be defensive
+                # and replace it with a fresh load.
+                del self._entries[key]
+                entry.doomed = True
+            self.stats.misses += 1
+            entry = _Entry(key, table_set)
+            self._entries[key] = entry
+            return Lease(Lease._OWNER, entry=entry)
+
+    def complete(self, lease: Lease, value: Any) -> Any:
+        """Owner callback: publish ``value`` and retain it (LRU-bounded).
+
+        Returns ``value`` so the call can tail a computation.
+        """
+        entry = self._require_owned(lease)
+        entry.future.set_result(value)
+        with self._lock:
+            if entry.doomed or self._entries.get(entry.key) is not entry:
+                # Invalidated (or displaced) while in flight: waiters were
+                # served, but the value must not outlive the write.
+                return value
+            self._entries.move_to_end(entry.key)
+            entry.published = True
+            self._completed += 1
+            self._trim_locked()
+        return value
+
+    def fail(self, lease: Lease, error: BaseException) -> None:
+        """Owner callback: propagate ``error`` to followers, cache nothing."""
+        entry = self._require_owned(lease)
+        with self._lock:
+            if self._entries.get(entry.key) is entry:
+                del self._entries[entry.key]
+        entry.future.set_exception(error)
+
+    @staticmethod
+    def _require_owned(lease: Lease) -> _Entry:
+        if not lease.is_owner or lease.entry is None:
+            raise ValueError("complete/fail require an owner lease")
+        return lease.entry
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table: Optional[str]) -> int:
+        """Drop every entry whose read set intersects ``table``.
+
+        ``None`` or the wildcard invalidates everything (a write whose
+        target table is unknown must be treated as touching all).
+        Returns the number of entries dropped.
+        """
+        if table is None or table == WILDCARD_TABLE:
+            return self.invalidate_all()
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if table in entry.tables or WILDCARD_TABLE in entry.tables:
+                    del self._entries[key]
+                    entry.doomed = True
+                    if entry.published:
+                        self._completed -= 1
+                    dropped += 1
+            self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_all(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            for entry in self._entries.values():
+                entry.doomed = True
+            self._entries.clear()
+            self._completed = 0
+            self.stats.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return (
+                entry is not None
+                and entry.future.done()
+                and entry.future.exception() is None
+            )
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def clear_stats(self) -> None:
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _trim_locked(self) -> None:
+        """Evict LRU *published* entries down to capacity (lock held)."""
+        if self._completed <= self.capacity:
+            return
+        for key in list(self._entries):
+            if self._completed <= self.capacity:
+                break
+            entry = self._entries[key]
+            if not entry.published:
+                continue  # in-flight entries are pinned
+            del self._entries[key]
+            entry.doomed = True
+            self._completed -= 1
+            self.stats.evictions += 1

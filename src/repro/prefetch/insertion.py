@@ -1,0 +1,382 @@
+"""Prefetch insertion: hoist query submissions to their earliest safe point.
+
+Loop fission (Rule A) overlaps queries *across iterations*.  This pass
+covers the complementary straight-line case: a blocking query statement
+
+    profile = conn.execute_query(PROFILE_SQL, [user_id])
+    summary = summarize(inputs)
+    if detailed:
+        extra = conn.execute_query(EXTRA_SQL, [user_id])
+        ...
+
+is split into a ``submit`` and a ``fetch`` half, and the submit is moved
+*backward* — past every statement it does not depend on, and (guarded)
+out of the conditional that consumes it::
+
+    if detailed:
+        __prefetch_h1 = conn.submit_query(EXTRA_SQL, [user_id])
+    profile = conn.execute_query(PROFILE_SQL, [user_id])
+    summary = summarize(inputs)
+    if detailed:
+        extra = conn.fetch_result(__prefetch_h1)
+        ...
+
+The legality rules are the same dependence conditions the loop rules
+use, applied within one block (moving a statement earlier inside one
+iteration never reorders anything across iterations):
+
+* no flow/anti/output dependence between the submit and any statement it
+  passes (argument expressions may mutate — ``items.pop()`` — so both
+  directions are checked);
+* no conflicting *external* access may be crossed: an ``execute_update``
+  or a transaction barrier on the same resource stops the hoist — this
+  reuses the registry effect machinery and the barrier wildcard;
+* only ``read``-effect queries are prefetched; writes keep their order;
+* the submit never crosses an early exit — ``return``/``raise``, or a
+  ``break``/``continue`` belonging to an enclosing loop — so no query
+  is issued in an execution where the original exited first;
+* a hoist out of a conditional duplicates the test, so the test must be
+  effect-free, and the emitted submit stays guarded — the query multiset
+  is unchanged, submissions just start earlier.
+
+A rewrite is kept only when the submit actually moved (or escaped its
+conditional); a split that stays put would add noise for no overlap.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.ddg import conflicting_resources
+from ..ir.defuse import DefUse, analyze_expression, analyze_statement
+from ..ir.purity import PurityEnv
+from ..ir.statements import find_query_call
+from ..transform.codegen import name_load, name_store
+from ..transform.names import NameAllocator
+from ..transform.registry import QueryRegistry, default_registry
+
+#: Attribute set on a submit statement sitting at the top of an ``if``
+#: body whose test is effect-free: the parent block may lift it out.
+HOIST_ATTR = "_repro_prefetch_hoistable"
+#: Attribute linking a generated submit back to its report entry.
+SITE_ATTR = "_repro_prefetch_site"
+
+
+@dataclass
+class PrefetchSite:
+    """One query submission moved by the pass (for reports/tests)."""
+
+    function: str
+    lineno: int
+    label: str
+    #: Statements (and lifted conditionals) the submit moved above.
+    hoisted_past: int = 0
+    #: True when the submit was lifted out of a conditional and re-guarded.
+    guarded: bool = False
+
+
+class PrefetchInserter:
+    """AST pass inserting earliest-point ``submit_query`` calls."""
+
+    def __init__(
+        self,
+        registry: Optional[QueryRegistry] = None,
+        purity: Optional[PurityEnv] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.purity = purity or PurityEnv()
+
+    # ------------------------------------------------------------------
+    def run(self, tree: ast.AST) -> List[PrefetchSite]:
+        """Rewrite ``tree`` in place; returns the inserted sites."""
+        allocator = NameAllocator.for_tree(tree)
+        sites: List[PrefetchSite] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                node.body = self._process_block(
+                    node.body, node.name, allocator, sites, liftable=False
+                )
+        ast.fix_missing_locations(tree)
+        return sites
+
+    # ------------------------------------------------------------------
+    # block processing (innermost first; lifts propagate outward)
+    # ------------------------------------------------------------------
+    def _process_block(
+        self,
+        nodes: List[ast.stmt],
+        function: str,
+        allocator: NameAllocator,
+        sites: List[PrefetchSite],
+        liftable: bool,
+    ) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for node in nodes:
+            if isinstance(node, ast.If):
+                node.body = self._process_block(
+                    node.body, function, allocator, sites,
+                    liftable=self._effect_free_test(node.test),
+                )
+                node.orelse = self._process_block(
+                    node.orelse, function, allocator, sites, liftable=False
+                )
+                for guarded in self._lift_from_if(node):
+                    out.append(guarded)
+                    self._hoist_existing(out, len(out) - 1)
+                out.append(node)
+            elif isinstance(node, (ast.While, ast.For)):
+                # Within a loop body submits may move earlier *inside the
+                # iteration*; crossing the loop boundary would change how
+                # many times the query runs, so nothing lifts out.
+                node.body = self._process_block(
+                    node.body, function, allocator, sites, liftable=False
+                )
+                if node.orelse:
+                    node.orelse = self._process_block(
+                        node.orelse, function, allocator, sites, liftable=False
+                    )
+                out.append(node)
+            elif isinstance(node, (ast.Try, ast.With)):
+                for attr in ("body", "orelse", "finalbody"):
+                    block = getattr(node, attr, None)
+                    if block:
+                        setattr(
+                            node,
+                            attr,
+                            self._process_block(
+                                block, function, allocator, sites, liftable=False
+                            ),
+                        )
+                for handler in getattr(node, "handlers", []):
+                    handler.body = self._process_block(
+                        handler.body, function, allocator, sites, liftable=False
+                    )
+                out.append(node)
+            else:
+                out.append(node)
+        self._insert_prefetches(out, function, allocator, sites, liftable)
+        return out
+
+    # ------------------------------------------------------------------
+    # splitting query statements and hoisting their submits
+    # ------------------------------------------------------------------
+    def _insert_prefetches(
+        self,
+        block: List[ast.stmt],
+        function: str,
+        allocator: NameAllocator,
+        sites: List[PrefetchSite],
+        liftable: bool,
+    ) -> None:
+        index = len(block) - 1
+        while index >= 0:
+            rewrite = self._try_rewrite(block[index], allocator)
+            if rewrite is None:
+                index -= 1
+                continue
+            submit_stmt, fetch_stmt, label = rewrite
+            target = self._hoist_target(block, index, submit_stmt)
+            if target == index and not (liftable and index == 0):
+                index -= 1  # no movement, no lift possible: keep blocking
+                continue
+            site = PrefetchSite(
+                function=function,
+                lineno=getattr(block[index], "lineno", 0),
+                label=label,
+                hoisted_past=index - target,
+            )
+            setattr(submit_stmt, SITE_ATTR, site)
+            block[index] = fetch_stmt
+            block.insert(target, submit_stmt)
+            if target == 0 and liftable:
+                setattr(submit_stmt, HOIST_ATTR, True)
+            sites.append(site)
+            # The element formerly at index-1 now sits at index (when the
+            # insert landed above it); otherwise step down normally.
+            if target == index:
+                index -= 1
+
+    def _try_rewrite(
+        self, node: ast.stmt, allocator: NameAllocator
+    ) -> Optional[Tuple[ast.stmt, ast.stmt, str]]:
+        query = find_query_call(node, self.registry)
+        if query is None or not query.top_level:
+            return None
+        if query.spec.effect != "read":
+            return None  # writes are never speculated or reordered
+        call = query.call
+        if not isinstance(call.func, ast.Attribute) or query.receiver is None:
+            return None  # method-style calls only (the registry contract)
+        handle = allocator.fresh("__prefetch_h")
+        submit_call = copy.deepcopy(call)
+        submit_call.func.attr = query.spec.submit
+        submit_stmt: ast.stmt = ast.Assign(
+            targets=[name_store(handle)], value=submit_call
+        )
+        fetch_call = ast.Call(
+            func=ast.Attribute(
+                value=copy.deepcopy(query.receiver),
+                attr=query.spec.fetch,
+                ctx=ast.Load(),
+            ),
+            args=[name_load(handle)],
+            keywords=[],
+        )
+        if query.target is not None:
+            fetch_stmt: ast.stmt = ast.Assign(
+                targets=[copy.deepcopy(query.target)], value=fetch_call
+            )
+        else:
+            fetch_stmt = ast.Expr(value=fetch_call)
+        for generated in (submit_stmt, fetch_stmt):
+            ast.copy_location(generated, node)
+            ast.fix_missing_locations(generated)
+        try:
+            label = ast.unparse(node)[:70]
+        except Exception:  # pragma: no cover - unparse is total here
+            label = type(node).__name__
+        return submit_stmt, fetch_stmt, label
+
+    # ------------------------------------------------------------------
+    # hoisting machinery
+    # ------------------------------------------------------------------
+    def _hoist_target(
+        self, block: List[ast.stmt], index: int, moving: ast.stmt
+    ) -> int:
+        moving_du = analyze_statement(moving, self.purity, self.registry)
+        target = index
+        while target > 0:
+            prev = block[target - 1]
+            if _transfers_control(prev):
+                # Hoisting above a return/raise (or a break/continue of
+                # an enclosing loop) would issue queries in executions
+                # where the original exited first — the multiset
+                # invariant only holds below such statements.
+                break
+            prev_du = analyze_statement(prev, self.purity, self.registry)
+            if not self._independent(prev_du, moving_du):
+                break
+            target -= 1
+        return target
+
+    def _hoist_existing(self, block: List[ast.stmt], index: int) -> int:
+        """Move an already-materialized statement (a lifted, guarded
+        submit) as far up its new block as dependences allow."""
+        target = self._hoist_target(block, index, block[index])
+        if target != index:
+            node = block.pop(index)
+            block.insert(target, node)
+            site = getattr(node, SITE_ATTR, None)
+            if site is not None:
+                site.hoisted_past += index - target
+        return target
+
+    @staticmethod
+    def _independent(prev_du: DefUse, moving_du: DefUse) -> bool:
+        """May ``moving`` execute before ``prev`` (both directions checked)?"""
+        if prev_du.writes & moving_du.reads:
+            return False  # flow: prev produces a value the submit needs
+        if moving_du.writes & prev_du.reads:
+            return False  # anti: argument expressions may mutate state
+        if moving_du.writes & prev_du.writes:
+            return False  # output
+        if conflicting_resources(prev_du.external_writes, moving_du.external_reads):
+            return False  # update/barrier before the read
+        if conflicting_resources(moving_du.external_writes, prev_du.external_reads):
+            return False
+        if conflicting_resources(prev_du.external_writes, moving_du.external_writes):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # lifting guarded submits out of conditionals
+    # ------------------------------------------------------------------
+    def _lift_from_if(self, node: ast.If) -> List[ast.stmt]:
+        lifted: List[ast.stmt] = []
+        while len(node.body) > 1 and getattr(node.body[0], HOIST_ATTR, False):
+            submit = node.body.pop(0)
+            setattr(submit, HOIST_ATTR, False)
+            guarded = ast.If(
+                test=copy.deepcopy(node.test), body=[submit], orelse=[]
+            )
+            ast.copy_location(guarded, node)
+            ast.fix_missing_locations(guarded)
+            site = getattr(submit, SITE_ATTR, None)
+            if site is not None:
+                site.guarded = True
+                site.hoisted_past += 1  # crossed the conditional boundary
+                setattr(guarded, SITE_ATTR, site)
+            lifted.append(guarded)
+        return lifted
+
+    def _effect_free_test(self, test: ast.expr) -> bool:
+        """Lifting duplicates the test: it must read program state only."""
+        du = analyze_expression(test, self.purity, self.registry)
+        return not du.writes and not du.external_writes and not du.external_reads
+
+
+def _transfers_control(node: ast.AST, in_loop: bool = False) -> bool:
+    """May executing ``node`` transfer control out of the current block?
+
+    True for ``return``/``raise`` anywhere (except inside nested
+    function/class definitions, which do not execute here) and for
+    ``break``/``continue`` that belong to a loop *enclosing* ``node``
+    (ones inside a loop nested within ``node`` stay contained).
+    """
+    if isinstance(node, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(node, (ast.Break, ast.Continue)):
+        return not in_loop
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+        return False
+    inside = in_loop or isinstance(node, (ast.While, ast.For))
+    return any(
+        _transfers_control(child, inside) for child in ast.iter_child_nodes(node)
+    )
+
+
+# ----------------------------------------------------------------------
+# front end
+# ----------------------------------------------------------------------
+
+
+def prefetch_source(
+    source: str,
+    registry: Optional[QueryRegistry] = None,
+    purity: Optional[PurityEnv] = None,
+    reorder: bool = True,
+    readable: bool = True,
+    window: Optional[int] = None,
+    select=None,
+    cache_size: Optional[int] = None,
+):
+    """Transform ``source`` with the full pipeline *plus* prefetch
+    insertion — the companion of :func:`repro.transform.asyncify_source`.
+
+    Query loops get Rule A fission as usual; remaining straight-line
+    query statements get earliest-point submission.  ``cache_size``
+    embeds a ``__repro_prefetch__`` hint at the top of the module so the
+    runtime (or an operator) knows the recommended
+    :class:`~repro.prefetch.cache.ResultCache` capacity.
+    """
+    from ..transform.asyncify import asyncify_source
+
+    result = asyncify_source(
+        source,
+        registry=registry,
+        purity=purity,
+        reorder=reorder,
+        readable=readable,
+        window=window,
+        select=select,
+        prefetch=True,
+    )
+    if cache_size is not None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        hint = f"__repro_prefetch__ = {{'cache_size': {int(cache_size)}}}"
+        result.source = f"{hint}\n{result.source}"
+    return result

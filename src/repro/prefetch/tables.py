@@ -1,0 +1,59 @@
+"""Map SQL text to the tables it touches.
+
+The result cache invalidates by table: a write against ``users`` must
+drop every cached result that read ``users`` and nothing else.  The
+client usually has the planned statement in hand (our SQL subset is
+single-table, so ``prepared.ast.table`` answers directly); this module
+provides the same mapping for raw SQL text — benchmarks, tests and any
+cache user outside :class:`repro.client.connection.Connection` — with a
+conservative wildcard fallback for text our parser does not accept.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..db.sql import parse
+from ..db.sql.ast_nodes import Statement, is_write
+from .cache import WILDCARD_TABLE
+
+
+def tables_of_statement(statement: Statement) -> FrozenSet[str]:
+    """Tables touched by a parsed statement (wildcard when unknown)."""
+    table = getattr(statement, "table", None)
+    if table is None:
+        return frozenset({WILDCARD_TABLE})
+    return frozenset({table})
+
+
+def tables_touched(sql: str) -> FrozenSet[str]:
+    """Tables read or written by ``sql``.
+
+    Unparseable text returns the wildcard set: the cache then treats the
+    result as potentially reading anything, so any write drops it —
+    always safe, never stale.
+    """
+    try:
+        statement = parse(sql)
+    except Exception:
+        return frozenset({WILDCARD_TABLE})
+    return tables_of_statement(statement)
+
+
+def written_table(sql: str) -> Optional[str]:
+    """The table a DML/DDL statement writes, or None for reads.
+
+    Returns the wildcard for write-looking text the parser rejects, so
+    callers invalidate conservatively.
+    """
+    try:
+        statement = parse(sql)
+    except Exception:
+        head = sql.lstrip().split(None, 1)
+        keyword = head[0].upper() if head else ""
+        if keyword in ("INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"):
+            return WILDCARD_TABLE
+        return None
+    if not is_write(statement):
+        return None
+    return getattr(statement, "table", None) or WILDCARD_TABLE

@@ -33,9 +33,14 @@ from .errors import (
 )
 from .registry import QueryRegistry, QuerySpec, default_registry
 
+# Imported last: repro.prefetch.insertion depends on the engine modules
+# above (the package is already in sys.modules, so this is cycle-safe).
+from ..prefetch.insertion import prefetch_source
+
 __all__ = [
     "asyncify",
     "asyncify_source",
+    "prefetch_source",
     "LoopCostEstimate",
     "breakeven_iterations",
     "estimate_loop_cost",

@@ -22,6 +22,7 @@ def asyncify_source(
     readable: bool = True,
     window: Optional[int] = None,
     select=None,
+    prefetch: bool = False,
 ) -> TransformResult:
     """Transform module source text; returns the rewritten source plus a
     per-loop report (see :class:`~repro.transform.engine.TransformResult`)."""
@@ -32,6 +33,7 @@ def asyncify_source(
         readable=readable,
         window=window,
         select=select,
+        prefetch=prefetch,
     )
     return engine.transform_source(source)
 
@@ -44,6 +46,7 @@ def asyncify(
     reorder: bool = True,
     readable: bool = True,
     window: Optional[int] = None,
+    prefetch: bool = False,
 ):
     """Decorator / wrapper that rewrites a function for asynchronous
     query submission::
@@ -85,6 +88,7 @@ def asyncify(
             reorder_enabled=reorder,
             readable=readable,
             window=window,
+            prefetch=prefetch,
         )
         result = engine.transform_source(ast.unparse(tree))
         namespace = dict(target.__globals__)

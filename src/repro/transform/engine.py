@@ -92,6 +92,9 @@ class TransformResult:
     tree: ast.Module
     reports: List[LoopReport]
     elapsed_s: float = 0.0
+    #: Filled by the prefetch-insertion pass (``prefetch=True``): one
+    #: :class:`repro.prefetch.insertion.PrefetchSite` per hoisted submit.
+    prefetch_sites: List[object] = field(default_factory=list)
 
     @property
     def opportunities(self) -> int:
@@ -114,6 +117,12 @@ class TransformResult:
             for outcome in report.outcomes:
                 detail = outcome.reason and f" [{outcome.reason}]" or ""
                 lines.append(f"    {outcome.status}: {outcome.label}{detail}")
+        for site in self.prefetch_sites:
+            guarded = " (guarded)" if getattr(site, "guarded", False) else ""
+            lines.append(
+                f"  prefetch {site.function}:{site.lineno}{guarded} "
+                f"hoisted past {site.hoisted_past}: {site.label}"
+            )
         return "\n".join(lines)
 
 
@@ -128,12 +137,18 @@ class TransformEngine:
         readable: bool = True,
         window: Optional[int] = None,
         select: Optional[Callable[[str, str], bool]] = None,
+        prefetch: bool = False,
     ) -> None:
         """``select(function_name, statement_text) -> bool`` restricts
         which query statements are made asynchronous — the paper's
         "we assume that user can specify which query submission
         statements to be transformed" (Section VII).  Unselected
         statements stay blocking; None transforms everything eligible.
+
+        ``prefetch=True`` additionally runs the prefetch-insertion pass
+        (:mod:`repro.prefetch.insertion`) after loop fission: remaining
+        straight-line query statements are split into submit/fetch and
+        the submits hoisted to their earliest safe program point.
         """
         self.registry = registry or default_registry()
         self.purity = purity or PurityEnv()
@@ -141,6 +156,7 @@ class TransformEngine:
         self.readable = readable
         self.window = window
         self.select = select
+        self.prefetch = prefetch
 
     # ------------------------------------------------------------------
     # entry points
@@ -156,10 +172,21 @@ class TransformEngine:
                 node.body = self._transform_block(
                     node.body, node.name, allocator, reports, allow_window=True
                 )
+        prefetch_sites: List[object] = []
+        if self.prefetch:
+            # Imported here: repro.prefetch depends on this module.
+            from ..prefetch.insertion import PrefetchInserter
+
+            inserter = PrefetchInserter(self.registry, self.purity)
+            prefetch_sites = inserter.run(tree)
         ast.fix_missing_locations(tree)
         elapsed = time.perf_counter() - started
         return TransformResult(
-            source=ast.unparse(tree), tree=tree, reports=reports, elapsed_s=elapsed
+            source=ast.unparse(tree),
+            tree=tree,
+            reports=reports,
+            elapsed_s=elapsed,
+            prefetch_sites=prefetch_sites,
         )
 
     # ------------------------------------------------------------------

@@ -13,8 +13,25 @@ which is the point of the paper.
 * :mod:`repro.workloads.forms`     — Experiment 4, value range expansion
 * :mod:`repro.workloads.moviegraph`— Experiment 5, web-service traversal
 * :mod:`repro.workloads.paper_examples` — Examples 1–11 from the paper text
+* :mod:`repro.workloads.hotset`    — skewed repeated reads (prefetch+cache scenario)
 """
 
-from . import category, forms, moviegraph, paper_examples, rubbos, rubis
+from . import (
+    category,
+    forms,
+    hotset,
+    moviegraph,
+    paper_examples,
+    rubbos,
+    rubis,
+)
 
-__all__ = ["category", "forms", "moviegraph", "paper_examples", "rubbos", "rubis"]
+__all__ = [
+    "category",
+    "forms",
+    "hotset",
+    "moviegraph",
+    "paper_examples",
+    "rubbos",
+    "rubis",
+]

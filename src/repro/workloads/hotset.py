@@ -1,0 +1,82 @@
+"""Skewed read-heavy workload: repeated profile views over a hot set.
+
+Production read traffic is rarely uniform: a small set of popular
+entities (hot sellers on an auction site, front-page stories) absorbs
+most lookups.  This scenario drives the RUBiS schema with a batch of
+user-profile reads where ``hot_fraction`` of the requests land on only
+``hot_users`` distinct ids — the regime where a query-result cache pays:
+after each hot id's first (cold) execution, every repeat is a hit.
+
+Kernels:
+
+* :func:`load_profiles` — the pure read loop the benchmark measures
+  (blocking vs. async vs. prefetch+cache);
+* :func:`refresh_ratings` — a read/write mix exercising write-driven
+  invalidation: each rating update must evict the stale profile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..db.database import Database
+from ..db.latency import INSTANT, LatencyProfile
+from . import rubis
+
+PROFILE_SQL = "SELECT name, rating FROM users WHERE user_id = ?"
+RATING_UPDATE_SQL = "UPDATE users SET rating = ? WHERE user_id = ?"
+
+
+def build_database(profile: LatencyProfile = INSTANT, **kwargs) -> Database:
+    """The RUBiS auction schema (this scenario only changes the traffic)."""
+    return rubis.build_database(profile, **kwargs)
+
+
+def skewed_user_batch(
+    db: Database,
+    count: int,
+    hot_users: int = 16,
+    hot_fraction: float = 0.9,
+    seed: int = 23,
+) -> List[int]:
+    """``count`` user ids, ``hot_fraction`` of them drawn from a set of
+    ``hot_users`` ids; the rest uniform over the whole table."""
+    rng = random.Random(seed)
+    population = len(db.catalog.table("users").heap)
+    hot = [rng.randrange(population) for _ in range(hot_users)]
+    batch = []
+    for _ in range(count):
+        if rng.random() < hot_fraction:
+            batch.append(rng.choice(hot))
+        else:
+            batch.append(rng.randrange(population))
+    return batch
+
+
+def load_profiles(conn, user_ids):
+    """The measured read loop: one profile lookup per (repeated) id."""
+    profiles = []
+    for user_id in user_ids:
+        row = conn.execute_query(PROFILE_SQL, [user_id])
+        profiles.append((user_id, row[0][0], row[0][1]))
+    return profiles
+
+
+def refresh_ratings(conn, updates):
+    """Read/write mix: bump each user's rating, then re-read the profile.
+
+    With a result cache attached, each ``execute_update`` must
+    invalidate the cached profile so the re-read observes the new
+    rating — the workload behind the invalidation-correctness test.
+    """
+    observed = []
+    for user_id, rating in updates:
+        conn.execute_update(RATING_UPDATE_SQL, [rating, user_id])
+        row = conn.execute_query(PROFILE_SQL, [user_id])
+        observed.append((user_id, row[0][1]))
+    return observed
+
+
+#: Transformable loops of the scenario (applicability accounting).
+QUERY_LOOPS = [load_profiles]

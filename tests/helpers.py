@@ -160,6 +160,7 @@ def run_both(
     purity=None,
     window: Optional[int] = None,
     threaded: bool = False,
+    prefetch: bool = False,
 ):
     """Compile+run the original and transformed versions of ``source``.
 
@@ -175,7 +176,9 @@ def run_both(
     exec(compile(source, "<orig>", "exec"), namespace_orig)
     original = namespace_orig[func_name]
 
-    result = asyncify_source(source, registry=registry, purity=purity, window=window)
+    result = asyncify_source(
+        source, registry=registry, purity=purity, window=window, prefetch=prefetch
+    )
     namespace_new: dict = {}
     exec(compile(result.source, "<transformed>", "exec"), namespace_new)
     transformed = namespace_new[func_name]

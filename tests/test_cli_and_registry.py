@@ -1,0 +1,144 @@
+"""Satellite coverage: QueryRegistry copy/effect/barrier semantics and
+the CLI flags added with the prefetch subsystem."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import __version__
+from repro.transform.registry import QueryRegistry, QuerySpec, default_registry
+
+
+class TestRegistrySemantics:
+    def test_copy_is_independent(self):
+        original = default_registry()
+        clone = original.copy()
+        clone.register(
+            QuerySpec("run_report", "submit_report", "fetch_result",
+                      resource="db", effect="read")
+        )
+        assert clone.lookup("run_report") is not None
+        assert original.lookup("run_report") is None
+
+    def test_copy_preserves_barriers(self):
+        original = default_registry()
+        clone = original.copy()
+        assert clone.barriers() == original.barriers()
+        clone.register_barrier("flush_all")
+        assert clone.is_barrier("flush_all")
+        assert not original.is_barrier("flush_all")
+
+    def test_with_effect_overrides_one_call(self):
+        original = default_registry()
+        commuting = original.with_effect("execute_update", "commuting_write")
+        assert commuting.lookup("execute_update").effect == "commuting_write"
+        assert original.lookup("execute_update").effect == "write"
+        # the submit-side index follows the override
+        assert commuting.lookup_async("submit_update").effect == "commuting_write"
+
+    def test_with_effect_preserves_barriers_and_other_specs(self):
+        original = default_registry()
+        derived = original.with_effect("execute_query", "write")
+        assert derived.is_barrier("commit")
+        assert derived.lookup("call").effect == "read"
+
+    def test_with_effect_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            default_registry().with_effect("no_such_call", "read")
+
+    def test_invalid_effect_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec("a", "b", "c", effect="destructive")
+
+    def test_default_barriers_present(self):
+        registry = default_registry()
+        for method in ("begin", "commit", "rollback", "transaction"):
+            assert registry.is_barrier(method)
+        assert not registry.is_barrier("execute_query")
+
+    def test_lookup_async_matches_submit_names(self):
+        registry = default_registry()
+        assert registry.lookup_async("submit_query").blocking == "execute_query"
+        assert registry.lookup_async("execute_query") is None
+
+    def test_empty_registry(self):
+        registry = QueryRegistry()
+        assert registry.lookup("execute_query") is None
+        assert registry.barriers() == set()
+        assert list(registry.specs()) == []
+
+
+SAMPLE = '''
+def load(conn, key, detailed):
+    base = conn.execute_query("q", [key])
+    total = base.scalar()
+    if detailed:
+        extra = conn.execute_query("d", [key])
+        total = total + extra.scalar()
+    return total
+'''
+
+
+def run_cli(args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCliFlags:
+    def test_version_flag(self):
+        proc = run_cli(["--version"])
+        assert proc.returncode == 0
+        assert f"repro {__version__}" in proc.stdout
+
+    def test_prefetch_flag_hoists(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        plain = run_cli([str(path)])
+        prefetched = run_cli([str(path), "--prefetch"])
+        assert "submit_query" not in plain.stdout  # straight-line code
+        assert "submit_query" in prefetched.stdout
+        assert "fetch_result" in prefetched.stdout
+
+    def test_prefetch_report_lists_sites(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--report"])
+        assert proc.returncode == 0
+        assert "prefetch load:" in proc.stderr
+
+    def test_cache_size_embeds_hint(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--cache-size", "64"])
+        assert proc.returncode == 0
+        assert "__repro_prefetch__ = {'cache_size': 64}" in proc.stdout
+
+    def test_cache_size_requires_prefetch(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--cache-size", "64"])
+        assert proc.returncode == 2
+        assert "--cache-size requires --prefetch" in proc.stderr
+
+    def test_cache_size_must_be_positive(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--cache-size", "0"])
+        assert proc.returncode == 2
+
+    def test_unwritable_output_is_reported(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "-o", str(tmp_path)])  # a directory
+        assert proc.returncode == 2
+        assert "cannot write" in proc.stderr
+
+    def test_unreadable_source_is_reported(self, tmp_path):
+        proc = run_cli([str(tmp_path / "missing.py")])
+        assert proc.returncode == 2
+        assert "cannot read" in proc.stderr

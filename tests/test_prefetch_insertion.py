@@ -1,0 +1,397 @@
+"""Prefetch insertion: earliest-point submission with dependence limits."""
+
+import pytest
+
+from repro.transform import asyncify_source, prefetch_source
+from tests.helpers import FakeConnection, run_both
+
+
+def transform(source, **kwargs):
+    return prefetch_source(source, **kwargs)
+
+
+class TestHoisting:
+    def test_submit_hoists_above_independent_statements(self):
+        result = transform(
+            """
+def f(conn, x):
+    a = x + 1
+    b = a * 2
+    r = conn.execute_query("q", [x])
+    return r.scalar() + b
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submit_line = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        fetch_line = next(i for i, l in enumerate(lines) if "fetch_result" in l)
+        assert submit_line < lines.index("a = x + 1")
+        assert fetch_line > lines.index("b = a * 2")
+        assert result.prefetch_sites[0].hoisted_past == 2
+
+    def test_flow_dependence_stops_hoist(self):
+        result = transform(
+            """
+def f(conn, x):
+    a = x + 1
+    key = a * 2
+    r = conn.execute_query("q", [key])
+    return r.scalar()
+"""
+        )
+        # The argument is produced immediately above: no movement is
+        # possible, so the statement stays blocking.
+        assert "execute_query" in result.source
+        assert "submit_query" not in result.source
+        assert result.prefetch_sites == []
+
+    def test_partial_hoist_respects_producer(self):
+        result = transform(
+            """
+def f(conn, x):
+    key = x + 1
+    a = x * 2
+    b = a + 3
+    r = conn.execute_query("q", [key])
+    return r.scalar() + b
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submit_line = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        assert submit_line > lines.index("key = x + 1")
+        assert submit_line < lines.index("a = x * 2")
+        assert result.prefetch_sites[0].hoisted_past == 2
+
+    def test_guarded_lift_out_of_conditional(self):
+        result = transform(
+            """
+def f(conn, x, detailed):
+    a = x + 1
+    if detailed:
+        r = conn.execute_query("q", [x])
+        a = a + r.scalar()
+    return a
+"""
+        )
+        source = result.source
+        assert "if detailed:" in source
+        submit_at = source.index("submit_query")
+        fetch_at = source.index("fetch_result")
+        assert submit_at < source.index("a = x + 1")
+        assert fetch_at > source.index("a = x + 1")
+        site = result.prefetch_sites[0]
+        assert site.guarded
+        # One statement passed plus the conditional boundary itself.
+        assert site.hoisted_past == 2
+        # The submit stays guarded: no speculative query on the false path.
+        lines = source.splitlines()
+        submit_index = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        assert lines[submit_index - 1].strip() == "if detailed:"
+
+    def test_impure_test_is_not_lifted(self):
+        result = transform(
+            """
+def f(conn, items):
+    a = 1
+    if items.pop():
+        r = conn.execute_query("q", [a])
+        a = r.scalar()
+    return a
+"""
+        )
+        # Lifting would evaluate items.pop() twice; the query stays put.
+        assert "submit_query" not in result.source
+
+    def test_updates_are_never_prefetched(self):
+        result = transform(
+            """
+def f(conn, x):
+    a = x + 1
+    b = a * 2
+    conn.execute_update("ins", [x])
+    return b
+"""
+        )
+        assert "execute_update" in result.source
+        assert "submit_update" not in result.source
+
+    def test_hoist_blocked_by_update_on_same_resource(self):
+        result = transform(
+            """
+def f(conn, x):
+    conn.execute_update("ins", [x])
+    r = conn.execute_query("q", [x])
+    return r.scalar()
+"""
+        )
+        assert "submit_query" not in result.source  # cannot pass the write
+
+    def test_hoist_blocked_by_transaction_barrier(self):
+        result = transform(
+            """
+def f(conn, x):
+    a = x + 1
+    conn.commit()
+    r = conn.execute_query("q", [x])
+    return r.scalar() + a
+"""
+        )
+        assert "submit_query" not in result.source
+
+    def test_mutating_argument_not_hoisted_past_reader(self):
+        result = transform(
+            """
+def f(conn, items):
+    n = len(items)
+    r = conn.execute_query("q", [items.pop()])
+    return (n, r.scalar())
+"""
+        )
+        # items.pop() must not move above len(items).
+        assert "submit_query" not in result.source
+
+    def test_submit_passes_a_blocking_read(self):
+        result = transform(
+            """
+def f(conn, x, y):
+    a = conn.execute_query("first", [x])
+    b = conn.execute_query("second", [y])
+    return (a.scalar(), b.scalar())
+"""
+        )
+        # Two independent reads: the second submission overlaps the first.
+        lines = [line.strip() for line in result.source.splitlines()]
+        submits = [i for i, l in enumerate(lines) if "submit_query" in l]
+        fetches = [i for i, l in enumerate(lines) if "fetch_result" in l]
+        assert len(submits) == 2 and len(fetches) == 2
+        assert max(submits) < min(fetches)
+
+    def test_hoist_blocked_by_early_return(self):
+        result = transform(
+            """
+def f(conn, flag, key):
+    if flag:
+        return None
+    r = conn.execute_query("q", [key])
+    return r.scalar()
+"""
+        )
+        # Submitting above the early return would issue a query the
+        # original never ran when flag is true.
+        assert "submit_query" not in result.source
+
+    def test_hoist_blocked_by_raise_guard(self):
+        result = transform(
+            """
+def f(conn, key, ok):
+    if not ok:
+        raise ValueError(key)
+    r = conn.execute_query("q", [key])
+    return r.scalar()
+"""
+        )
+        assert "submit_query" not in result.source
+
+    def test_hoist_blocked_by_loop_continue(self):
+        result = transform(
+            """
+def f(conn, items):
+    out = []
+    for item in items:
+        if item < 0:
+            continue
+        a = item * 2
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar() + a)
+    return out
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submits = [i for i, l in enumerate(lines) if "submit_query" in l]
+        if submits:  # may hoist past `a = item * 2`, never past the guard
+            assert submits[0] > lines.index("continue")
+
+    def test_hoist_past_loop_whose_break_stays_contained(self):
+        # A break belongs to its own loop; control still reaches the
+        # query afterwards in every execution, so passing the whole
+        # loop is safe.
+        result = transform(
+            """
+def f(conn, items, key):
+    total = 0
+    for item in items:
+        if item > 3:
+            break
+        total += item
+    r = conn.execute_query("q", [key])
+    return (total, r.scalar())
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submit_line = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        assert submit_line < lines.index("for item in items:")
+
+    def test_hoist_above_whole_loop(self):
+        result = transform(
+            """
+def f(conn, items, key):
+    total = 0
+    for item in items:
+        total += item
+    r = conn.execute_query("q", [key])
+    return total + r.scalar()
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submit_line = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        assert submit_line < lines.index("for item in items:")
+
+    def test_hoist_inside_blocked_loop_body(self):
+        # `return` inside the loop blocks Rule A; prefetch still moves the
+        # submit earlier within each iteration.
+        result = transform(
+            """
+def f(conn, items):
+    for item in items:
+        a = item * 2
+        b = a + 1
+        r = conn.execute_query("q", [item])
+        if r.scalar() > b:
+            return item
+    return None
+"""
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        submit_line = next(i for i, l in enumerate(lines) if "submit_query" in l)
+        assert submit_line < lines.index("a = item * 2")
+        assert lines.index("for item in items:") < submit_line
+
+
+class TestFrontEnd:
+    def test_cache_size_hint_embedded(self):
+        result = transform(
+            """
+def f(conn, x):
+    a = x + 1
+    r = conn.execute_query("q", [x])
+    return r.scalar() + a
+""",
+            cache_size=128,
+        )
+        assert result.source.startswith("__repro_prefetch__ = {'cache_size': 128}")
+        compile(result.source, "<prefetched>", "exec")  # stays valid Python
+
+    def test_invalid_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            transform("def f(conn):\n    pass\n", cache_size=0)
+
+    def test_loop_fission_still_runs(self):
+        result = transform(
+            """
+def f(conn, items):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    return out
+"""
+        )
+        assert result.transformed_loops == 1
+        assert "submit_query" in result.source
+
+    def test_engine_default_leaves_straight_line_queries_alone(self):
+        source = """
+def f(conn, x):
+    a = x + 1
+    r = conn.execute_query("q", [x])
+    return r.scalar() + a
+"""
+        assert "submit_query" not in asyncify_source(source).source
+
+
+class TestPrefetchEquivalence:
+    def assert_equivalent(self, source, func_name, args_factory, **kwargs):
+        out_a, out_b, conn_a, conn_b, result = run_both(
+            source, func_name, args_factory, prefetch=True, **kwargs
+        )
+        assert out_a == out_b
+        assert conn_a.query_multiset() == conn_b.query_multiset()
+        return result
+
+    def test_straight_line_guarded(self):
+        for detailed in (True, False):
+            result = self.assert_equivalent(
+                """
+def program(conn, x, detailed):
+    a = x + 1
+    b = a * 3
+    if detailed:
+        r = conn.execute_query("extra", [x])
+        b = b + r.scalar()
+    return (a, b)
+""",
+                "program",
+                lambda detailed=detailed: (5, detailed),
+            )
+            assert result.prefetch_sites
+
+    def test_chain_of_reads_with_update_between(self):
+        self.assert_equivalent(
+            """
+def program(conn, x):
+    first = conn.execute_query("first", [x])
+    conn.execute_update("ins", [first.scalar()])
+    second = conn.execute_query("second", [x])
+    return (first.scalar(), second.scalar())
+""",
+            "program",
+            lambda: (3,),
+        )
+
+    def test_loop_plus_straight_line(self):
+        self.assert_equivalent(
+            """
+def program(conn, items, key):
+    out = []
+    for item in items:
+        r = conn.execute_query("q", [item])
+        out.append(r.scalar())
+    tail = conn.execute_query("tail", [key])
+    out.append(tail.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(8)), 99),
+        )
+
+    def test_early_exit_query_multiset_preserved(self):
+        for flag in (True, False):
+            self.assert_equivalent(
+                """
+def program(conn, flag, key):
+    header = conn.execute_query("header", [key])
+    n = header.scalar()
+    if flag:
+        return n
+    detail = conn.execute_query("detail", [n])
+    return (n, detail.scalar())
+""",
+                "program",
+                lambda flag=flag: (flag, 7),
+            )
+
+    def test_threaded_prefetch(self):
+        self.assert_equivalent(
+            """
+def program(conn, x, flag):
+    a = x * 2
+    b = a + 1
+    if flag:
+        r = conn.execute_query("q", [x])
+        b = b + r.scalar()
+    s = conn.execute_query("s", [b])
+    return s.scalar()
+""",
+            "program",
+            lambda: (7, True),
+            threaded=True,
+        )

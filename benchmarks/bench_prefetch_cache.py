@@ -35,5 +35,20 @@ def test_prefetch_cache_beats_blocking_and_matches_async(benchmark):
     assert "hit-rate 0.00" not in top_note, "cache hit rate must be > 0"
 
 
+def test_mixed_sync_aio_invalidation_under_load(benchmark):
+    """Mixed multi-client series (ISSUE 2): a sync client and an aio
+    client share one cache while a cache-less writer churns the hot
+    set.  The runner itself asserts every cached read stays fresh; the
+    bench additionally requires the correctness note and a useful hit
+    rate despite the invalidation churn."""
+    figure = run_once(benchmark, figures.run_mixed_clients)
+    print()
+    print(figure.format())
+    assert len(figure.series) == 3
+    assert all(note.endswith("fresh-read check ok") for note in figure.notes)
+    assert any("hit-rate 0.00" not in note for note in figure.notes)
+
+
 if __name__ == "__main__":
     print(figures.run_prefetch_cache().format())
+    print(figures.run_mixed_clients().format())

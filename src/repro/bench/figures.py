@@ -556,6 +556,136 @@ def run_prefetch_cache(
     return figure
 
 
+def run_mixed_clients(
+    iterations: Optional[Sequence[int]] = None,
+    threads: int = DEFAULT_THREADS,
+    hot_users: int = 16,
+    hot_fraction: float = 0.9,
+    cache_capacity: int = 512,
+    profile: LatencyProfile = SYS1,
+) -> FigureData:
+    """Mixed sync + asyncio clients over one shared cache, with a
+    cache-less writer churning the hot set under load.
+
+    Exercises the unified submission pipeline end to end: the sync and
+    asyncio clients share one :class:`ResultCache` (either client's fill
+    is the other's hit), and a third, cache-less connection issues
+    rating updates concurrently — server-side invalidation must keep
+    every cached read fresh, which the runner asserts after the churn
+    settles.
+    """
+    import asyncio
+    import threading
+
+    from ..prefetch import ResultCache
+    from ..runtime.aio import aio_connect
+    from ..workloads import hotset
+
+    if iterations is None:
+        iterations = (200, 1000, 4000) if full_mode() else (200, 1000, 2000)
+    profile = _scaled(profile)
+    figure = FigureData(
+        figure_id="mixed-clients",
+        title=f"Mixed sync+aio clients, shared cache ({profile.name}, "
+        f"{threads} threads, {hot_users} hot users)",
+        x_label="iterations",
+        paper_reference="beyond the paper: cross-connection invalidation "
+        "correctness under mixed-runtime load",
+    )
+    db = hotset.build_database(profile)
+    try:
+        sync_series = figure.new_series("sync+cache")
+        aio_series = figure.new_series("aio+cache")
+        mixed_series = figure.new_series("mixed+writer")
+
+        async def aio_read(aconn, ids):
+            handles = [
+                aconn.submit_query(hotset.PROFILE_SQL, [uid]) for uid in ids
+            ]
+            rows = await aconn.gather(handles)
+            return [(uid, row[0][0], row[0][1]) for uid, row in zip(ids, rows)]
+
+        for count in iterations:
+            ids = hotset.skewed_user_batch(
+                db, count, hot_users=hot_users, hot_fraction=hot_fraction
+            )
+            from collections import Counter
+
+            hot = [uid for uid, _ in Counter(ids).most_common(hot_users)]
+            cache = ResultCache(capacity=cache_capacity)
+            sync_conn = db.connect(async_workers=threads, result_cache=cache)
+            aconn = aio_connect(db, max_in_flight=threads, result_cache=cache)
+            writer = db.connect(async_workers=1)  # cache-less
+            try:
+                base = hotset.load_profiles(sync_conn, list(ids))  # warm + fill
+                got, sync_s = measure(
+                    lambda: hotset.load_profiles(sync_conn, list(ids))
+                )
+                assert got == base
+                sync_series.add(count, sync_s)
+
+                # The sync client's fills serve the asyncio client.
+                got, aio_s = measure(
+                    lambda: asyncio.run(aio_read(aconn, list(ids)))
+                )
+                assert got == base, "shared cache must serve both runtimes"
+                aio_series.add(count, aio_s)
+
+                # Mixed phase: both clients read concurrently while the
+                # cache-less writer keeps bumping hot-set ratings.
+                stop = threading.Event()
+
+                def churn():
+                    bump = 0
+                    while not stop.is_set():
+                        bump += 1
+                        for uid in hot:
+                            writer.execute_update(
+                                hotset.RATING_UPDATE_SQL, [bump % 5, uid]
+                            )
+
+                def mixed():
+                    writer_thread = threading.Thread(target=churn)
+                    reader_thread = threading.Thread(
+                        target=lambda: hotset.load_profiles(sync_conn, list(ids))
+                    )
+                    writer_thread.start()
+                    reader_thread.start()
+                    try:
+                        return asyncio.run(aio_read(aconn, list(ids)))
+                    finally:
+                        reader_thread.join()
+                        stop.set()
+                        writer_thread.join()
+
+                _, mixed_s = measure(mixed)
+                mixed_series.add(count, mixed_s)
+
+                # Correctness: once the churn settles, every cached read
+                # of a hot profile matches a cache-bypassing read.
+                for uid in hot:
+                    fresh = writer.execute_query(hotset.PROFILE_SQL, [uid])
+                    cached_row = sync_conn.execute_query(
+                        hotset.PROFILE_SQL, [uid]
+                    )
+                    assert cached_row[0][1] == fresh[0][1], (
+                        f"stale cached rating for user {uid}: "
+                        f"{cached_row[0][1]} != {fresh[0][1]}"
+                    )
+                figure.notes.append(
+                    f"{count} iterations: hit-rate {cache.stats.hit_rate:.2f}, "
+                    f"{cache.stats.invalidations} invalidations under churn; "
+                    "fresh-read check ok"
+                )
+            finally:
+                sync_conn.close()
+                aconn.close()
+                writer.close()
+    finally:
+        db.close()
+    return figure
+
+
 # ----------------------------------------------------------------------
 # Table I and transformation time
 # ----------------------------------------------------------------------
@@ -719,9 +849,16 @@ def run_ablation_aio(
     budgets.  Both run the Rule A two-loop shape over the Experiment 1
     workload; the substrate work per query is identical, so differences
     are pure client-coordination overhead.
+
+    The third series runs the asyncio client with a shared
+    :class:`~repro.prefetch.cache.ResultCache` attached — the unified
+    submission pipeline serves asyncio hits exactly as it serves the
+    sync client's, so the steady-state repeat batch resolves mostly at
+    submit time, without a thread hop.
     """
     import asyncio
 
+    from ..prefetch import ResultCache
     from ..runtime.aio import aio_connect
 
     profile = _scaled(profile)
@@ -737,6 +874,8 @@ def run_ablation_aio(
         base = rubis.load_comment_authors(db.connect(async_workers=1), list(comments))
         threads_series = figure.new_series("threads")
         aio_series = figure.new_series("asyncio")
+        cached_series = figure.new_series("asyncio+cache")
+        cache = None
         kernel = transformed_kernel(rubis.load_comment_authors)
 
         async def aio_kernel(conn, batch):
@@ -772,6 +911,24 @@ def run_ablation_aio(
                 aconn.close()
             assert result == base
             aio_series.add(budget, seconds)
+
+            cache = ResultCache(capacity=4096)
+            aconn = aio_connect(db, max_in_flight=budget, result_cache=cache)
+            try:
+                asyncio.run(aio_kernel(aconn, list(comments)))  # warm + fill
+                cache.clear_stats()
+                result, seconds = measure(
+                    lambda: asyncio.run(aio_kernel(aconn, list(comments)))
+                )
+            finally:
+                aconn.close()
+            assert result == base, "cached aio kernel changed results"
+            cached_series.add(budget, seconds)
+        if cache is not None:
+            figure.notes.append(
+                f"asyncio+cache steady-state hit-rate {cache.stats.hit_rate:.2f} "
+                f"({cache.stats.hits} hits / {cache.stats.lookups} lookups)"
+            )
     finally:
         db.close()
     return figure

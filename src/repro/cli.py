@@ -67,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help=(
+            "embed a result-cache TTL (max staleness, seconds) in the "
+            "__repro_prefetch__ hint (requires --prefetch)"
+        ),
+    )
+    parser.add_argument(
         "--commuting-updates", action="store_true",
         help="declare execute_update calls commutative (Experiment 4)",
     )
@@ -89,6 +96,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--cache-size requires --prefetch")
         if args.cache_size < 1:
             parser.error(f"--cache-size must be >= 1, got {args.cache_size}")
+    if args.cache_ttl is not None:
+        if not args.prefetch:
+            parser.error("--cache-ttl requires --prefetch")
+        if args.cache_ttl <= 0:
+            parser.error(f"--cache-ttl must be > 0, got {args.cache_ttl}")
     path = Path(args.source)
     try:
         source = path.read_text()
@@ -119,6 +131,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 reorder=not args.no_reorder,
                 window=args.window,
                 cache_size=args.cache_size,
+                cache_ttl_s=args.cache_ttl,
             )
         else:
             result = asyncify_source(

@@ -1,4 +1,4 @@
-"""Database client connection.
+"""Database client connection: the blocking/async front end.
 
 Latency accounting: every *blocking* call pays one full network round
 trip in the calling thread before the server result is visible — this is
@@ -7,33 +7,33 @@ programs.  ``submit_query`` pays only a tiny submit overhead in the
 calling thread; the round trip is paid by one of the connection's async
 worker threads, overlapping with the application and with other
 requests.
+
+The connection itself is deliberately thin: the whole submission
+lifecycle (normalization, cache lookup with single-flight, dispatch,
+stats, cache population) lives in
+:class:`repro.core.submission.SubmissionPipeline`, shared verbatim with
+the asyncio front end (:mod:`repro.runtime.aio`).  What remains here is
+connection *state*: open/closed, the current explicit transaction, and
+the prepared-statement convenience wrapper.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Union
 
 from contextlib import contextmanager
 
+from ..core.submission import SubmissionPipeline, SubmissionStats
 from ..db.errors import DatabaseError, TransactionStateError
 from ..db.plan import QueryResult
 from ..db.server import DatabaseServer, PreparedStatement
-from ..db.sql.ast_nodes import is_write
 from ..db.txn import Transaction
 from ..prefetch.cache import ResultCache
-from ..prefetch.tables import tables_of_statement
 from ..runtime.executor import AsyncExecutor
-from ..runtime.handles import QueryHandle, completed_handle
+from ..runtime.handles import QueryHandle
 
-
-@dataclass
-class ConnectionStats:
-    blocking_calls: int = 0
-    async_submits: int = 0
-    fetches: int = 0
-    cache_hits: int = 0
+#: Backwards-compatible name: connection stats are the pipeline's stats.
+ConnectionStats = SubmissionStats
 
 
 class PreparedQuery:
@@ -94,7 +94,10 @@ class Connection:
 
     ``async_workers`` sets the size of the client-side thread pool used
     for asynchronous submissions — the "number of threads" knob in the
-    paper's experiments.
+    paper's experiments.  ``result_cache`` attaches a shared
+    :class:`~repro.prefetch.cache.ResultCache`; the pipeline registers
+    it with the server, which invalidates it on every write — including
+    writes issued through *other* connections.
     """
 
     def __init__(
@@ -109,10 +112,11 @@ class Connection:
             name="client-async",
             spawn_cost_s=server.profile.thread_spawn_s,
         )
+        self._pipeline = SubmissionPipeline(
+            server, self._executor, cache=result_cache
+        )
         self._closed = False
         self._txn: Optional[Transaction] = None
-        self._cache = result_cache
-        self.stats = ConnectionStats()
 
     # ------------------------------------------------------------------
     # configuration
@@ -133,9 +137,19 @@ class Connection:
         return self._executor
 
     @property
+    def pipeline(self) -> SubmissionPipeline:
+        """The shared submission pipeline (also used by the asyncio
+        front end wrapping this connection)."""
+        return self._pipeline
+
+    @property
+    def stats(self) -> SubmissionStats:
+        return self._pipeline.stats
+
+    @property
     def result_cache(self) -> Optional[ResultCache]:
         """The shared query-result cache, when one is attached."""
-        return self._cache
+        return self._pipeline.cache
 
     # ------------------------------------------------------------------
     # preparation
@@ -157,31 +171,7 @@ class Connection:
         share one in-flight execution.
         """
         self._ensure_open()
-        self.stats.blocking_calls += 1
-        prepared, bound = self._resolve(query, params)
-        key = self._cache_key(prepared, bound) if self._cache is not None else None
-        if key is not None:
-            lease = self._cache.acquire(key, tables_of_statement(prepared.ast))
-            if lease.is_hit:
-                self.stats.cache_hits += 1
-                return lease.value
-            if lease.is_follower:
-                self.stats.cache_hits += 1
-                return lease.wait()
-            try:
-                self._charge_network()
-                result = self._server.submit_prepared(
-                    prepared, bound, txn=self._txn
-                ).result()
-            except BaseException as exc:
-                self._cache.fail(lease, exc)
-                raise
-            return self._cache.complete(lease, result)
-        self._charge_network()
-        result = self._server.submit_prepared(prepared, bound, txn=self._txn).result()
-        if self._cache is not None:
-            self._invalidate_for_write(prepared)
-        return result
+        return self._pipeline.execute(query, params, txn=self._txn)
 
     def execute_update(self, query: Query, params: Sequence = ()) -> QueryResult:
         """Blocking DML execution (alias kept distinct so the transform
@@ -194,85 +184,19 @@ class Connection:
     def submit_query(self, query: Query, params: Sequence = ()) -> QueryHandle:
         """Non-blocking submit: the paper's ``submitQuery``.
 
-        Returns immediately with a handle; one async worker thread pays
-        the round trip and runs the request to completion.
+        Returns immediately with a handle; a cache hit comes back
+        already resolved, otherwise one async worker thread pays the
+        round trip and runs the request to completion.
         """
         self._ensure_open()
-        self.stats.async_submits += 1
-        txn = self._txn
-        if txn is not None:
-            # Discussion-section rule (DESIGN.md): asynchronous *reads*
-            # may overlap an open transaction — they run under its shared
-            # locks — but asynchronous *updates* are rejected outright:
-            # their failures would be observed after commit decisions.
-            probe, _ = self._resolve(query, params)
-            if is_write(probe.ast):
-                raise TransactionStateError(
-                    "asynchronous updates inside an explicit transaction "
-                    "are not supported; commit first or use blocking "
-                    "execute_update"
-                )
-        try:
-            prepared, bound = self._resolve(query, params)
-        except Exception as exc:
-            # Observer-model contract: submission problems surface at
-            # fetch_result, in iteration order, like any other failure.
-            from ..runtime.handles import failed_handle
-
-            return failed_handle(exc)
-        lease = None
-        key = self._cache_key(prepared, bound) if self._cache is not None else None
-        if key is not None:
-            lease = self._cache.acquire(key, tables_of_statement(prepared.ast))
-            if lease.is_hit:
-                self.stats.cache_hits += 1
-                return completed_handle(lease.value)
-            if lease.is_follower:
-                # Single flight: share the in-flight execution's future.
-                self.stats.cache_hits += 1
-                return QueryHandle(lease.future, label=prepared.sql[:40])
-            # Owner: fall through to a real submission that publishes
-            # its result into the cache on completion.
-        self._server.meter.charge("queue", self._server.profile.send_overhead_s)
-        if txn is not None:
-            txn.enter_async()
-
-        def task() -> QueryResult:
-            try:
-                try:
-                    self._charge_network()
-                    result = self._server.submit_prepared(
-                        prepared, bound, txn=txn
-                    ).result()
-                except BaseException as exc:
-                    if lease is not None:
-                        self._cache.fail(lease, exc)
-                    raise
-                if lease is not None:
-                    self._cache.complete(lease, result)
-                else:
-                    self._invalidate_for_write(prepared)
-                return result
-            finally:
-                if txn is not None:
-                    txn.exit_async()
-
-        try:
-            return self._executor.submit(task, label=prepared.sql[:40])
-        except BaseException as exc:
-            # Never strand single-flight followers on a submission that
-            # could not even be queued.
-            if lease is not None:
-                self._cache.fail(lease, exc)
-            raise
+        return self._pipeline.submit(query, params, txn=self._txn)
 
     def submit_update(self, query: Query, params: Sequence = ()) -> QueryHandle:
         return self.submit_query(query, params)
 
     def fetch_result(self, handle: QueryHandle) -> QueryResult:
         """Blocking fetch: the paper's ``fetchResult``."""
-        self.stats.fetches += 1
-        return handle.result()
+        return self._pipeline.fetch(handle)
 
     # ------------------------------------------------------------------
     # explicit transactions (Discussion-section substrate)
@@ -300,7 +224,11 @@ class Connection:
         return self._txn
 
     def commit(self) -> None:
-        """Commit the open transaction (drains in-flight async reads)."""
+        """Commit the open transaction (drains in-flight async reads).
+
+        The server broadcasts the transaction's table invalidations to
+        every registered result cache inside the commit boundary.
+        """
         txn = self._require_txn()
         try:
             txn.commit()
@@ -308,7 +236,11 @@ class Connection:
             self._txn = None
 
     def rollback(self) -> None:
-        """Roll back the open transaction, undoing its writes."""
+        """Roll back the open transaction, undoing its writes.
+
+        Rolled-back writes never invalidate caches: the pre-transaction
+        data — which is what caches hold — is restored.
+        """
         txn = self._require_txn()
         try:
             txn.rollback()
@@ -337,42 +269,6 @@ class Connection:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _resolve(self, query: Query, params: Sequence) -> tuple:
-        if isinstance(query, PreparedQuery):
-            bound = query.snapshot_params() if not params else tuple(params)
-            return query.server_statement, bound
-        if isinstance(query, str):
-            return self._server.prepare(query), tuple(params)
-        raise DatabaseError(f"not a query: {query!r}")
-
-    def _cache_key(self, prepared: PreparedStatement, bound: tuple):
-        """Cache key for a read, or None when the cache must be bypassed.
-
-        Transactions bypass the cache entirely: their reads run under
-        the transaction's locks and may observe its own uncommitted
-        writes, neither of which may leak into shared cached results.
-        """
-        if self._cache is None or self._txn is not None:
-            return None
-        if is_write(prepared.ast):
-            return None
-        try:
-            hash(bound)
-        except TypeError:
-            return None
-        return (prepared.sql, bound)
-
-    def _invalidate_for_write(self, prepared: PreparedStatement) -> None:
-        """Write-driven invalidation: DML/DDL drops cached readers of
-        its table (rollbacks over-invalidate, which is safe)."""
-        if self._cache is not None and is_write(prepared.ast):
-            self._cache.invalidate_table(getattr(prepared.ast, "table", None))
-
-    def _charge_network(self) -> None:
-        rtt = self._server.profile.network_rtt_s
-        if rtt:
-            self._server.meter.charge("network", rtt)
-
     def _ensure_open(self) -> None:
         if self._closed:
             raise DatabaseError("connection is closed")

@@ -1,0 +1,13 @@
+"""Shared client-runtime core.
+
+One subsystem, one job: every way a query can be submitted — blocking
+call, thread-pool handle, asyncio awaitable — is a thin front end over
+the same :class:`~repro.core.submission.SubmissionPipeline`.  The paper's
+premise is that *how* a request is coordinated (Section II's observer
+model vs. callbacks vs. blocking) is a mechanical choice; this package
+is the repo's enforcement of that premise at the architecture level.
+"""
+
+from .submission import CallPipeline, SubmissionPipeline, SubmissionStats
+
+__all__ = ["CallPipeline", "SubmissionPipeline", "SubmissionStats"]

@@ -1,0 +1,371 @@
+"""The unified submission core: one cache-aware query path.
+
+Every client runtime used to carry its own copy of the submit/fetch
+lifecycle — blocking :meth:`Connection.execute_query`, the thread-pool
+``submit_query`` path, and the asyncio front end (which bypassed the
+result cache entirely).  This module owns that lifecycle once:
+
+    normalize SQL + params
+        → cache lookup (single-flight; hits resolve immediately)
+        → dispatch to the :class:`~repro.db.server.DatabaseServer`
+        → record stats
+        → populate the cache
+
+The front ends differ only in how they *wait*:
+
+* the sync client blocks on :meth:`SubmissionPipeline.execute`;
+* :class:`~repro.runtime.handles.QueryHandle` wraps the future returned
+  by :meth:`SubmissionPipeline.submit`;
+* ``AioQueryHandle`` wraps the same future via ``asyncio.wrap_future``.
+
+A cache hit therefore resolves without a thread (or task) hop in every
+runtime: the handle comes back already completed.
+
+Invalidation is **not** handled here.  Writes invalidate server-side:
+the pipeline registers its cache with the server
+(:meth:`DatabaseServer.register_cache`), and the server broadcasts
+per-table invalidations from its write path — inside the
+transaction-commit boundary for transactional writes — so a write
+through *any* connection (cached, cache-less, or transactional)
+invalidates every registered cache.
+
+:class:`CallPipeline` is the transport-agnostic half (cache lookup,
+single-flight, dispatch, stats); :class:`SubmissionPipeline` layers the
+SQL specifics (statement resolution, transaction rules, network
+charges) on top.  Both live here so cache-lookup logic exists in exactly
+one module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+from ..db.errors import DatabaseError, TransactionStateError
+from ..db.plan import QueryResult
+from ..db.server import DatabaseServer, PreparedStatement
+from ..db.sql.ast_nodes import is_write
+from ..db.txn import Transaction
+from ..prefetch.cache import ResultCache
+from ..prefetch.tables import tables_of_statement
+from ..runtime.handles import QueryHandle, completed_handle, failed_handle
+
+
+@dataclass
+class SubmissionStats:
+    """Counters for one pipeline (shared by all its front ends)."""
+
+    blocking_calls: int = 0
+    async_submits: int = 0
+    fetches: int = 0
+    cache_hits: int = 0
+
+
+class CallPipeline:
+    """Transport-agnostic submission core.
+
+    Owns the cache protocol (lookup, single-flight join, populate,
+    failure propagation), the dispatch to a bounded
+    :class:`~repro.runtime.executor.AsyncExecutor`, and the stats.  The
+    *transport* — what a round trip actually is — arrives as the
+    ``invoke`` callable; the web-service client reuses this class
+    directly with HTTP-shaped invokes.
+    """
+
+    def __init__(self, executor, cache: Optional[ResultCache] = None) -> None:
+        self._executor = executor
+        self._cache = cache
+        self.stats = SubmissionStats()
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def executor(self):
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # blocking path
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        invoke: Callable[[], Any],
+        key: Any = None,
+        tables: Optional[Iterable[str]] = None,
+        still_valid: Optional[Callable[[], bool]] = None,
+    ) -> Any:
+        """Submit and wait in the calling thread.
+
+        A cache hit pays no round trip; concurrent identical calls share
+        one in-flight execution (the follower blocks on the owner's
+        future instead of re-executing).  ``still_valid`` is re-checked
+        at publication time: if the read may have overlapped a data
+        change, waiters are served but the value is not retained.
+        """
+        self.stats.blocking_calls += 1
+        lease = self._acquire(key, tables)
+        if lease is None:
+            return invoke()
+        if lease.is_hit:
+            self.stats.cache_hits += 1
+            return lease.value
+        if lease.is_follower:
+            self.stats.cache_hits += 1
+            return lease.wait()
+        try:
+            result = invoke()
+        except BaseException as exc:
+            self._cache.fail(lease, exc)
+            raise
+        retain = still_valid is None or still_valid()
+        return self._cache.complete(lease, result, retain=retain)
+
+    # ------------------------------------------------------------------
+    # non-blocking path
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        invoke: Callable[[], Any],
+        key: Any = None,
+        tables: Optional[Iterable[str]] = None,
+        label: str = "",
+        on_dispatch: Optional[Callable[[], None]] = None,
+        cleanup: Optional[Callable[[], None]] = None,
+        still_valid: Optional[Callable[[], bool]] = None,
+    ) -> QueryHandle:
+        """Submit without waiting; returns a handle.
+
+        Cache hits return an already-completed handle (no thread hop);
+        followers share the owner's in-flight future.  ``on_dispatch``
+        runs only when a real dispatch happens (overhead charges,
+        transaction in-flight accounting); ``cleanup`` is its guaranteed
+        counterpart, run when the dispatched task finishes — or
+        immediately, if the dispatch itself fails.
+        """
+        self.stats.async_submits += 1
+        lease = self._acquire(key, tables)
+        if lease is not None:
+            if lease.is_hit:
+                self.stats.cache_hits += 1
+                return completed_handle(lease.value)
+            if lease.is_follower:
+                self.stats.cache_hits += 1
+                return QueryHandle(lease.future, label=label)
+        if on_dispatch is not None:
+            on_dispatch()
+
+        def task() -> Any:
+            try:
+                try:
+                    result = invoke()
+                except BaseException as exc:
+                    if lease is not None:
+                        self._cache.fail(lease, exc)
+                    raise
+                if lease is not None:
+                    retain = still_valid is None or still_valid()
+                    self._cache.complete(lease, result, retain=retain)
+                return result
+            finally:
+                if cleanup is not None:
+                    cleanup()
+
+        try:
+            return self._executor.submit(task, label=label)
+        except BaseException as exc:
+            # Never strand single-flight followers (or a transaction's
+            # in-flight count) on a submission that could not be queued.
+            if cleanup is not None:
+                cleanup()
+            if lease is not None:
+                self._cache.fail(lease, exc)
+            raise
+
+    def fetch(self, handle: QueryHandle) -> Any:
+        """Blocking fetch: the paper's ``fetchResult``."""
+        self.stats.fetches += 1
+        return handle.result()
+
+    # ------------------------------------------------------------------
+    def _acquire(self, key: Any, tables: Optional[Iterable[str]]):
+        if key is None or self._cache is None:
+            return None
+        return self._cache.acquire(key, tables)
+
+
+class SubmissionPipeline:
+    """The SQL submission pipeline over one :class:`DatabaseServer`.
+
+    Owns statement normalization, the transaction rules from the
+    paper's Discussion section, the simulated network charges, and —
+    through its inner :class:`CallPipeline` — the cache protocol and
+    dispatch.  Constructing a pipeline with a cache registers that cache
+    with the server for write-driven invalidation broadcasts.
+    """
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        executor,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self._server = server
+        self._calls = CallPipeline(executor, cache)
+        if cache is not None:
+            server.register_cache(cache)
+
+    @property
+    def server(self) -> DatabaseServer:
+        return self._server
+
+    @property
+    def executor(self):
+        return self._calls.executor
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._calls.cache
+
+    @property
+    def stats(self) -> SubmissionStats:
+        return self._calls.stats
+
+    # ------------------------------------------------------------------
+    # normalization
+    # ------------------------------------------------------------------
+    def resolve(self, query, params: Sequence) -> Tuple[PreparedStatement, tuple]:
+        """Normalize any accepted query form to ``(prepared, bound)``.
+
+        Accepts raw SQL text or a client-side prepared query (anything
+        exposing ``server_statement`` / ``snapshot_params``); bind state
+        is snapshotted here, so rebinding after submit is safe.
+        """
+        statement = getattr(query, "server_statement", None)
+        if statement is not None:
+            bound = tuple(params) if params else query.snapshot_params()
+            return statement, bound
+        if isinstance(query, str):
+            return self._server.prepare(query), tuple(params)
+        raise DatabaseError(f"not a query: {query!r}")
+
+    # ------------------------------------------------------------------
+    # the three primitives
+    # ------------------------------------------------------------------
+    def execute(
+        self, query, params: Sequence = (), txn: Optional[Transaction] = None
+    ) -> QueryResult:
+        """Submit and wait: the paper's ``executeQuery``."""
+        prepared, bound = self.resolve(query, params)
+        key, tables, still_valid = self._cache_plan(prepared, bound, txn)
+        return self._calls.call(
+            lambda: self._round_trip(prepared, bound, txn),
+            key=key,
+            tables=tables,
+            still_valid=still_valid,
+        )
+
+    def submit(
+        self, query, params: Sequence = (), txn: Optional[Transaction] = None
+    ) -> QueryHandle:
+        """Non-blocking submit: the paper's ``submitQuery``.
+
+        Returns immediately with a handle; a cache hit comes back
+        already resolved, otherwise one executor worker pays the round
+        trip.
+        """
+        if txn is not None:
+            # Discussion-section rule (DESIGN.md): asynchronous *reads*
+            # may overlap an open transaction — they run under its
+            # shared locks — but asynchronous *updates* are rejected
+            # outright: their failures would be observed after commit
+            # decisions.
+            prepared, bound = self.resolve(query, params)
+            if is_write(prepared.ast):
+                raise TransactionStateError(
+                    "asynchronous updates inside an explicit transaction "
+                    "are not supported; commit first or use blocking "
+                    "execute_update"
+                )
+        else:
+            try:
+                prepared, bound = self.resolve(query, params)
+            except Exception as exc:
+                # Observer-model contract: submission problems surface
+                # at fetch_result, in iteration order.
+                self.stats.async_submits += 1
+                return failed_handle(exc)
+
+        def on_dispatch() -> None:
+            self._server.meter.charge(
+                "queue", self._server.profile.send_overhead_s
+            )
+            if txn is not None:
+                txn.enter_async()
+
+        key, tables, still_valid = self._cache_plan(prepared, bound, txn)
+        return self._calls.dispatch(
+            lambda: self._round_trip(prepared, bound, txn),
+            key=key,
+            tables=tables,
+            label=prepared.sql[:40],
+            on_dispatch=on_dispatch,
+            cleanup=(txn.exit_async if txn is not None else None),
+            still_valid=still_valid,
+        )
+
+    def fetch(self, handle: QueryHandle) -> QueryResult:
+        """Blocking fetch: the paper's ``fetchResult``."""
+        return self._calls.fetch(handle)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _round_trip(
+        self, prepared: PreparedStatement, bound: tuple, txn: Optional[Transaction]
+    ) -> QueryResult:
+        """One full network round trip plus server-side execution."""
+        rtt = self._server.profile.network_rtt_s
+        if rtt:
+            self._server.meter.charge("network", rtt)
+        return self._server.submit_prepared(prepared, bound, txn=txn).result()
+
+    _BYPASS = (None, None, None)
+
+    def _cache_plan(
+        self, prepared: PreparedStatement, bound: tuple, txn: Optional[Transaction]
+    ):
+        """``(cache key, read tables, publication validity check)`` for
+        this request, all None when the cache must be bypassed.
+
+        Bypassed: writes; unhashable params; reads inside an explicit
+        transaction (they run under the transaction's locks and may
+        observe its own uncommitted writes, neither of which may leak
+        into shared cached results); and reads of tables another
+        transaction has uncommitted writes against (the value observed
+        may be dirty, and a rollback never broadcasts an invalidation).
+
+        The validity check re-reads the tables' write-version token at
+        publication time; every write statement and every rollback undo
+        bumps it.  The token is captured *before* the uncommitted-write
+        check, so a transactional write landing between the two is
+        caught by one or the other — a dirty value can never be
+        retained.
+        """
+        if self.cache is None or txn is not None:
+            return self._BYPASS
+        if is_write(prepared.ast):
+            return self._BYPASS
+        try:
+            hash(bound)
+        except TypeError:
+            return self._BYPASS
+        tables = tables_of_statement(prepared.ast)
+        token = self._server.read_validity(tables)
+        if self._server.has_uncommitted_writes(tables):
+            return self._BYPASS
+        return (
+            (prepared.sql, bound),
+            tables,
+            lambda: self._server.read_validity(tables) == token,
+        )

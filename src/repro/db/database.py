@@ -111,13 +111,23 @@ class Database:
 
         ``result_cache`` attaches a shared
         :class:`repro.prefetch.cache.ResultCache`; pass the same
-        instance to several connections to share hits across requests.
+        instance to several connections (or to
+        :func:`repro.runtime.aio.aio_connect`) to share hits across
+        requests and runtimes.  The connection's submission pipeline
+        registers the cache with the server, so a write through *any*
+        connection — cached, cache-less, or transactional — invalidates
+        it.
         """
         from ..client.connection import Connection
 
         return Connection(
             self.server, async_workers=async_workers, result_cache=result_cache
         )
+
+    def register_cache(self, cache) -> None:
+        """Register a standalone :class:`ResultCache` for server-side
+        write invalidation without attaching it to a connection."""
+        self.server.register_cache(cache)
 
     # ------------------------------------------------------------------
     # administration

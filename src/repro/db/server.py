@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
@@ -75,8 +76,28 @@ class DatabaseServer:
         self._catalog_version = 0
         self._active = 0
         self._shutdown = False
+        #: Result caches registered for server-side write invalidation.
+        #: Weak references: a cache lives exactly as long as some client
+        #: holds it; no unregistration bookkeeping on connection close.
+        self._caches: "weakref.WeakSet" = weakref.WeakSet()
+        #: Per-table write-version counters (and a global total), bumped
+        #: on every executed write statement and on every rollback's
+        #: undo.  Cached readers capture a version token before
+        #: executing and publish only if it is unchanged — the
+        #: optimistic check that keeps a read overlapping *any* data
+        #: change out of the cache.
+        self._write_versions: Dict[str, int] = {}
+        self._writes_total = 0
+        #: Tables with uncommitted transactional writes (refcounted:
+        #: cleared as each transaction finishes).  Reads of these
+        #: tables bypass the cache: the value observed may be dirty,
+        #: and a rolled-back write never broadcasts an invalidation.
+        self._uncommitted: Dict[Optional[str], int] = {}
         self.stats = ServerStats()
         self.txns = TransactionManager(catalog)
+        self.txns.invalidation_hook = self.broadcast_invalidation
+        self.txns.data_change_hook = self.note_data_change
+        self.txns.release_hook = self.clear_uncommitted
 
     # ------------------------------------------------------------------
     # preparation
@@ -118,6 +139,90 @@ class DatabaseServer:
                 raise StatementHandleError(
                     f"unknown prepared statement id {statement_id}"
                 ) from None
+
+    # ------------------------------------------------------------------
+    # result-cache registry (server-side invalidation)
+    # ------------------------------------------------------------------
+    def register_cache(self, cache) -> None:
+        """Register a result cache for write-driven invalidation.
+
+        Every write executed by this server — through any connection,
+        cached or cache-less, autocommit or transactional — broadcasts a
+        per-table invalidation to every registered cache; transactional
+        writes broadcast at commit, never at rollback.  Registration is
+        idempotent and weak: the server never keeps a cache alive.
+        """
+        with self._lock:
+            self._caches.add(cache)
+
+    def unregister_cache(self, cache) -> None:
+        with self._lock:
+            self._caches.discard(cache)
+
+    @property
+    def registered_cache_count(self) -> int:
+        with self._lock:
+            return len(self._caches)
+
+    def broadcast_invalidation(self, table: Optional[str]) -> int:
+        """Drop entries reading ``table`` from every registered cache
+        (``None`` drops everything); returns total entries dropped."""
+        with self._lock:
+            caches = list(self._caches)
+        dropped = 0
+        for cache in caches:
+            dropped += cache.invalidate_table(table)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # cache-consistency bookkeeping (the submission pipeline reads these)
+    # ------------------------------------------------------------------
+    def note_data_change(self, table: Optional[str]) -> None:
+        """Bump the write version of ``table`` (None = unknown target).
+
+        Called for every executed write statement and for every
+        rollback's undo: both change table data, and either must spoil
+        any cached read that overlapped it.
+        """
+        with self._lock:
+            key = table if table is not None else "*"
+            self._write_versions[key] = self._write_versions.get(key, 0) + 1
+            self._writes_total += 1
+
+    def read_validity(self, tables) -> int:
+        """A token that changes whenever any of ``tables`` may have
+        changed (the wildcard observes every write)."""
+        with self._lock:
+            if "*" in tables:
+                return self._writes_total
+            return self._write_versions.get("*", 0) + sum(
+                self._write_versions.get(table, 0) for table in tables
+            )
+
+    def mark_uncommitted(self, table: Optional[str]) -> None:
+        with self._lock:
+            self._uncommitted[table] = self._uncommitted.get(table, 0) + 1
+
+    def clear_uncommitted(self, table: Optional[str]) -> None:
+        with self._lock:
+            count = self._uncommitted.get(table, 0) - 1
+            if count > 0:
+                self._uncommitted[table] = count
+            else:
+                self._uncommitted.pop(table, None)
+
+    def has_uncommitted_writes(self, tables) -> bool:
+        """Is any of ``tables`` under an open transaction's write?
+
+        Reads of such tables must bypass the cache: they may observe
+        uncommitted values, and a rollback never broadcasts.
+        """
+        with self._lock:
+            if not self._uncommitted:
+                return False
+            if None in self._uncommitted or "*" in tables:
+                return True
+            return any(table in self._uncommitted for table in tables)
 
     # ------------------------------------------------------------------
     # execution
@@ -181,6 +286,19 @@ class DatabaseServer:
             prepared = self.prepare(prepared.sql)
         if txn is not None:
             self._lock_for_txn(txn, prepared.ast)
+        write = is_write(prepared.ast)
+        table = getattr(prepared.ast, "table", None) if write else None
+        if write:
+            # Cache bookkeeping BEFORE the mutation runs: non-txn reads
+            # take no table locks, so a concurrent cached read could
+            # otherwise observe the new data in the window before the
+            # mark/bump and retain it past a rollback.  Mark-then-bump
+            # pairs with the reader's token-then-check order: a write
+            # landing between the reader's two steps is caught by one
+            # or the other, never missed by both.
+            if txn is not None and txn.note_write(table):
+                self.mark_uncommitted(table)
+            self.note_data_change(table)
         with self._lock:
             self._active += 1
             if self._active > self.stats.peak_concurrency:
@@ -199,9 +317,18 @@ class DatabaseServer:
             ctx.flush_cpu()
             with self._lock:
                 self.stats.statements_executed += 1
-                if is_write(prepared.ast):
+                if write:
                     self.stats.writes_executed += 1
                     self._invalidate_if_ddl(prepared.ast)
+            if write and txn is None:
+                # Server-side invalidation: the write path is the one
+                # place every mutation passes through, so caches stay
+                # correct no matter which connection wrote.  Inside a
+                # transaction the broadcast is deferred to commit (a
+                # rolled-back write never invalidates); the pre-execute
+                # version bump and uncommitted mark keep reads that
+                # overlap the open write window out of the cache.
+                self.broadcast_invalidation(table)
             return result
         finally:
             with self._lock:
@@ -227,6 +354,8 @@ class DatabaseServer:
         """Force re-planning (called after out-of-band DDL)."""
         with self._lock:
             self._catalog_version += 1
+        # Out-of-band DDL changes schema underneath every cached result.
+        self.broadcast_invalidation(None)
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -37,7 +37,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .catalog import Catalog
 from .errors import (
@@ -185,6 +185,10 @@ class Transaction:
         self._state = ACTIVE
         self._undo: List[UndoEntry] = []
         self._locked_tables: Dict[str, None] = {}
+        #: Tables this transaction wrote (None = unknown target).  The
+        #: server broadcasts cache invalidations for this set at commit
+        #: — never at rollback, whose writes are undone.
+        self._write_tables: Dict[Optional[str], None] = {}
         self._drained = threading.Condition(self._state_lock)
         self._in_flight = 0
 
@@ -234,6 +238,23 @@ class Transaction:
         with self._state_lock:
             while self._in_flight:
                 self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # write-set tracking (server write path calls this)
+    # ------------------------------------------------------------------
+    def note_write(self, table: Optional[str]) -> bool:
+        """Record a table this transaction wrote, for the commit-time
+        cache-invalidation broadcast; returns True on the first note of
+        ``table`` (the server marks it uncommitted exactly once)."""
+        with self._state_lock:
+            if table in self._write_tables:
+                return False
+            self._write_tables[table] = None
+            return True
+
+    def written_tables(self) -> List[Optional[str]]:
+        with self._state_lock:
+            return list(self._write_tables)
 
     # ------------------------------------------------------------------
     # undo log (ExecutionContext records through these)
@@ -288,6 +309,19 @@ class TransactionManager:
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._active: Dict[int, Transaction] = {}
+        #: Installed by the owning DatabaseServer: called with each
+        #: committed write's table (None = all) inside the commit
+        #: boundary, before locks are released.
+        self.invalidation_hook: Optional[Callable[[Optional[str]], Any]] = None
+        #: Called per written table after a rollback's undo replay: the
+        #: restore is itself a data change, so the server bumps the
+        #: table's write version (spoiling any cached read that
+        #: overlapped the transaction) without evicting the still-valid
+        #: pre-transaction entries.
+        self.data_change_hook: Optional[Callable[[Optional[str]], Any]] = None
+        #: Called per written table when a transaction finishes either
+        #: way: clears the server's uncommitted-write mark.
+        self.release_hook: Optional[Callable[[Optional[str]], Any]] = None
 
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
@@ -317,6 +351,10 @@ class TransactionManager:
         with txn._state_lock:
             txn._state = COMMITTED
         txn._undo.clear()
+        # Cache-invalidation broadcast inside the commit boundary: the
+        # transaction's writes become durable and shared caches drop
+        # their readers before the table locks are released.
+        self._broadcast_writes(txn)
         self._finish(txn)
 
     def rollback(self, txn: Transaction) -> None:
@@ -329,9 +367,31 @@ class TransactionManager:
         txn._undo.clear()
         with txn._state_lock:
             txn._state = ABORTED
+        # No invalidation broadcast: the pre-transaction data — which is
+        # what published cache entries hold — has just been restored.
+        # The undo is still a data change, though: bump versions so any
+        # in-flight cached read that overlapped the dirty window fails
+        # its publication check instead of retaining a dirty value.
+        if self.data_change_hook is not None:
+            for table in txn.written_tables():
+                self.data_change_hook(table)
         self._finish(txn)
 
+    def _broadcast_writes(self, txn: Transaction) -> None:
+        hook = self.invalidation_hook
+        if hook is None:
+            return
+        tables = txn.written_tables()
+        if any(table is None for table in tables):
+            hook(None)  # unknown write target: drop everything, once
+            return
+        for table in tables:
+            hook(table)
+
     def _finish(self, txn: Transaction) -> None:
+        if self.release_hook is not None:
+            for table in txn.written_tables():
+                self.release_hook(table)
         self.locks.release_all(txn)
         with self._lock:
             self._active.pop(txn.txn_id, None)

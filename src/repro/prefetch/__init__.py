@@ -8,16 +8,23 @@ from a shared, write-invalidated result cache instead of re-executing
 them.
 
 * :mod:`repro.prefetch.cache`     — :class:`ResultCache`: single-flight,
-  bounded LRU, write-driven invalidation, hit/miss/eviction stats.
+  bounded LRU, write-driven invalidation, optional TTL and
+  negative-caching knobs, hit/miss/eviction/expiry stats.
 * :mod:`repro.prefetch.tables`    — SQL → touched-tables mapping used by
   the invalidation path (wildcard fallback for unknown text).
 * :mod:`repro.prefetch.insertion` — the prefetch-insertion transform and
   the :func:`prefetch_source` front end.
 
-Runtime wiring lives in :class:`repro.client.connection.Connection`
-(``result_cache=`` / ``Database.connect(result_cache=...)``): cache-aware
-``execute_query``/``submit_query`` for reads, table invalidation on every
-write, transactions always bypassing the cache.
+Runtime wiring lives in the unified submission core
+(:class:`repro.core.submission.SubmissionPipeline`, reached through
+``Database.connect(result_cache=...)`` or
+``aio_connect(..., result_cache=...)``): cache-aware
+``execute_query``/``submit_query`` for reads in every runtime,
+transactions always bypassing the cache.  Invalidation is server-side:
+the pipeline registers its cache with the
+:class:`~repro.db.server.DatabaseServer`, whose write path broadcasts
+per-table invalidations — transactional writes at commit — so writes
+through cache-less connections invalidate sibling caches too.
 """
 
 from .cache import CacheStats, Lease, ResultCache, WILDCARD_TABLE

@@ -14,8 +14,17 @@ turns the repeats into client-local lookups:
 * **write-driven invalidation** — a DML/DDL statement against a table
   drops every cached result that reads that table (results whose table
   set is unknown carry the wildcard and are dropped on *any* write);
-* **stats** — hits, misses, evictions, invalidations and single-flight
-  joins, plus a derived hit rate for benchmark reporting.
+* **optional TTL** — ``ttl_s`` bounds the age of a served entry: an
+  expired entry counts as a miss (and an ``expirations`` stat), and the
+  caller re-executes.  Useful where invalidation signals cannot reach
+  the cache (e.g. external writers) or as a staleness bound on top of
+  them;
+* **negative-caching knob** — ``cache_empty_results=False`` serves
+  in-flight waiters an empty result but does not retain it, so a row
+  created right after a miss is visible to the next reader without
+  waiting for invalidation;
+* **stats** — hits, misses, evictions, invalidations, expirations and
+  single-flight joins, plus a derived hit rate for benchmark reporting.
 
 The cache stores whatever result object the executor produces and hands
 the *same object* back on a hit — callers must treat cached results as
@@ -31,14 +40,24 @@ result happens on a ``concurrent.futures.Future`` outside the lock.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Any, Callable, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 #: Table marker for results whose read set could not be determined.
 #: Wildcard entries are invalidated by a write to *any* table.
 WILDCARD_TABLE = "*"
+
+
+def _is_empty(value: Any) -> bool:
+    """Is this result empty (zero rows)?  Unsized values count as
+    non-empty: only results that *prove* emptiness are skippable."""
+    try:
+        return len(value) == 0
+    except TypeError:
+        return False
 
 
 @dataclass
@@ -49,6 +68,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Entries dropped because they outlived the cache's TTL; each one
+    #: also counts as a miss for the lookup that found it expired.
+    expirations: int = 0
     #: Hits that joined an in-flight computation instead of reading a
     #: completed entry (single-flight shares).
     shared_flights: int = 0
@@ -66,7 +88,7 @@ class CacheStats:
 class _Entry:
     """One cached (or in-flight) result."""
 
-    __slots__ = ("key", "tables", "future", "doomed", "published")
+    __slots__ = ("key", "tables", "future", "doomed", "published", "expires_at")
 
     def __init__(self, key: Hashable, tables: FrozenSet[str]) -> None:
         self.key = key
@@ -78,6 +100,9 @@ class _Entry:
         #: Set (under the cache lock) once the value is retained — the
         #: authority for the completed-entry count and evictability.
         self.published = False
+        #: Monotonic deadline after which the entry no longer serves
+        #: hits (None = no TTL); stamped at publication time.
+        self.expires_at: Optional[float] = None
 
 
 class Lease:
@@ -137,10 +162,21 @@ class Lease:
 class ResultCache:
     """Bounded LRU cache of query results keyed by ``(sql, params)``."""
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_s: Optional[float] = None,
+        cache_empty_results: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
         self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.cache_empty_results = cache_empty_results
+        self._clock = clock
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         #: Entries in ``_entries`` whose value is published (complete and
@@ -171,23 +207,31 @@ class ResultCache:
                     self.stats.shared_flights += 1
                     return Lease(Lease._FOLLOWER, entry=entry)
                 error = entry.future.exception()
-                if error is None:
+                if error is None and self._expired_locked(entry):
+                    self._drop_locked(entry)
+                    self.stats.expirations += 1
+                    # fall through: this lookup becomes an owning miss
+                elif error is None:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                     return Lease(Lease._HIT, value=entry.future.result())
-                # A failed entry should have been removed; be defensive
-                # and replace it with a fresh load.
-                del self._entries[key]
-                entry.doomed = True
+                else:
+                    # A failed entry should have been removed; be
+                    # defensive and replace it with a fresh load.
+                    del self._entries[key]
+                    entry.doomed = True
             self.stats.misses += 1
             entry = _Entry(key, table_set)
             self._entries[key] = entry
             return Lease(Lease._OWNER, entry=entry)
 
-    def complete(self, lease: Lease, value: Any) -> Any:
+    def complete(self, lease: Lease, value: Any, retain: bool = True) -> Any:
         """Owner callback: publish ``value`` and retain it (LRU-bounded).
 
-        Returns ``value`` so the call can tail a computation.
+        ``retain=False`` serves the waiters but keeps nothing — used
+        when the caller's validity check says the read may have
+        overlapped a data change.  Returns ``value`` so the call can
+        tail a computation.
         """
         entry = self._require_owned(lease)
         entry.future.set_result(value)
@@ -196,8 +240,20 @@ class ResultCache:
                 # Invalidated (or displaced) while in flight: waiters were
                 # served, but the value must not outlive the write.
                 return value
+            if not retain:
+                del self._entries[entry.key]
+                entry.doomed = True
+                return value
+            if not self.cache_empty_results and _is_empty(value):
+                # Negative-caching knob: serve waiters, retain nothing —
+                # an empty result often means "not created yet".
+                del self._entries[entry.key]
+                entry.doomed = True
+                return value
             self._entries.move_to_end(entry.key)
             entry.published = True
+            if self.ttl_s is not None:
+                entry.expires_at = self._clock() + self.ttl_s
             self._completed += 1
             self._trim_locked()
         return value
@@ -265,6 +321,7 @@ class ResultCache:
                 entry is not None
                 and entry.future.done()
                 and entry.future.exception() is None
+                and not self._expired_locked(entry)
             )
 
     def keys(self) -> Tuple[Hashable, ...]:
@@ -275,6 +332,17 @@ class ResultCache:
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
+    def _expired_locked(self, entry: _Entry) -> bool:
+        """Has a published entry outlived the TTL? (lock held)"""
+        return entry.expires_at is not None and self._clock() >= entry.expires_at
+
+    def _drop_locked(self, entry: _Entry) -> None:
+        """Remove one entry, keeping the completed count exact (lock held)."""
+        del self._entries[entry.key]
+        entry.doomed = True
+        if entry.published:
+            self._completed -= 1
+
     def _trim_locked(self) -> None:
         """Evict LRU *published* entries down to capacity (lock held)."""
         if self._completed <= self.capacity:

@@ -352,15 +352,17 @@ def prefetch_source(
     window: Optional[int] = None,
     select=None,
     cache_size: Optional[int] = None,
+    cache_ttl_s: Optional[float] = None,
 ):
     """Transform ``source`` with the full pipeline *plus* prefetch
     insertion — the companion of :func:`repro.transform.asyncify_source`.
 
     Query loops get Rule A fission as usual; remaining straight-line
     query statements get earliest-point submission.  ``cache_size``
-    embeds a ``__repro_prefetch__`` hint at the top of the module so the
-    runtime (or an operator) knows the recommended
-    :class:`~repro.prefetch.cache.ResultCache` capacity.
+    (and optionally ``cache_ttl_s``) embed a ``__repro_prefetch__``
+    hint at the top of the module so the runtime (or an operator) knows
+    the recommended :class:`~repro.prefetch.cache.ResultCache`
+    capacity and staleness bound.
     """
     from ..transform.asyncify import asyncify_source
 
@@ -374,9 +376,15 @@ def prefetch_source(
         select=select,
         prefetch=True,
     )
+    hints = {}
     if cache_size is not None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
-        hint = f"__repro_prefetch__ = {{'cache_size': {int(cache_size)}}}"
-        result.source = f"{hint}\n{result.source}"
+        hints["cache_size"] = int(cache_size)
+    if cache_ttl_s is not None:
+        if cache_ttl_s <= 0:
+            raise ValueError(f"cache_ttl_s must be > 0, got {cache_ttl_s}")
+        hints["ttl_s"] = float(cache_ttl_s)
+    if hints:
+        result.source = f"__repro_prefetch__ = {hints!r}\n{result.source}"
     return result

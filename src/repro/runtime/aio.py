@@ -22,10 +22,16 @@ code::
 and the unordered callback model (paper Section II) maps onto
 :func:`as_completed`.
 
-The substrate underneath is still the simulated thread-per-request
-database/web server; each in-flight request occupies one thread of a
-dedicated pool, so ``max_in_flight`` plays exactly the role of the
-paper's "number of threads" knob and produces the same plateau curves.
+:class:`AioConnection` is a *front end*, not a runtime of its own: it
+submits through the wrapped connection's
+:class:`~repro.core.submission.SubmissionPipeline` — the same
+cache-aware path the sync client and the thread-pool observer model use
+— and wraps the resulting future with ``asyncio.wrap_future``.  A
+result cached by the sync client is therefore a hit for the asyncio
+client (and vice versa), resolving without a thread or task hop; the
+connection's ``async_workers`` pool bounds in-flight requests, so
+``max_in_flight`` plays exactly the role of the paper's "number of
+threads" knob and produces the same plateau curves.
 """
 
 from __future__ import annotations
@@ -42,6 +48,18 @@ class AioStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+
+
+def _book_keep(stats: AioStats) -> Callable[["asyncio.Future[Any]"], None]:
+    """Done-callback recording one future's outcome into ``stats``."""
+
+    def record(done: "asyncio.Future[Any]") -> None:
+        if done.cancelled() or done.exception() is not None:
+            stats.failed += 1
+        else:
+            stats.completed += 1
+
+    return record
 
 
 class AioQueryHandle:
@@ -87,13 +105,13 @@ class AioQueryHandle:
 
 
 class AioExecutor:
-    """Bridge from blocking substrate calls to awaitables.
+    """Bridge from blocking calls to awaitables (non-query transports).
 
     Wraps a bounded thread pool: ``submit(fn)`` schedules the blocking
-    ``fn`` on the pool and returns an :class:`AioQueryHandle`.  The pool
-    size caps in-flight requests, exactly like
-    :class:`~repro.runtime.executor.AsyncExecutor` does for the
-    thread-coordinated runtime.
+    ``fn`` on the pool and returns an :class:`AioQueryHandle`.  Query
+    submission does **not** go through this any more — the submission
+    pipeline's own executor carries it — but transports without a
+    pipeline (the web-service client below) still need the bridge.
     """
 
     def __init__(self, max_in_flight: int = 10, name: str = "aio") -> None:
@@ -121,14 +139,7 @@ class AioExecutor:
         loop = asyncio.get_running_loop()
         inner = loop.run_in_executor(self._pool, fn)
         self.stats.submitted += 1
-
-        def book_keep(done: "asyncio.Future[Any]") -> None:
-            if done.cancelled() or done.exception() is not None:
-                self.stats.failed += 1
-            else:
-                self.stats.completed += 1
-
-        inner.add_done_callback(book_keep)
+        inner.add_done_callback(_book_keep(self.stats))
         return AioQueryHandle(inner, label)
 
     def close(self) -> None:
@@ -148,28 +159,40 @@ class AioConnection:
 
     Construct from a database::
 
-        conn = db.connect(async_workers=1)      # blocking calls only
-        aconn = AioConnection(conn, max_in_flight=20)
+        conn = db.connect(async_workers=20, result_cache=cache)
+        aconn = AioConnection(conn)
 
-    or use :func:`aio_connect`.  The wrapped connection's own async
-    thread pool is unused — concurrency comes from this adapter's pool.
+    or use :func:`aio_connect`.  Submissions go through the wrapped
+    connection's submission pipeline, so the result cache (when
+    attached) serves the asyncio client exactly as it serves the sync
+    client: a hit returns an already-resolved awaitable with no thread
+    or task hop.  ``max_in_flight`` (when given) resizes the wrapped
+    connection's worker pool — one pool, not two stacked ones.
     """
 
-    def __init__(self, connection, max_in_flight: int = 10) -> None:
+    def __init__(self, connection, max_in_flight: Optional[int] = None) -> None:
         self._connection = connection
-        self._executor = AioExecutor(max_in_flight, name="client-aio")
+        if max_in_flight is not None and max_in_flight != connection.async_workers:
+            connection.set_async_workers(max_in_flight)
+        self.stats = AioStats()
 
     @property
     def connection(self):
         return self._connection
 
     @property
-    def max_in_flight(self) -> int:
-        return self._executor.max_in_flight
+    def pipeline(self):
+        """The shared submission pipeline (same object the sync client
+        submits through)."""
+        return self._connection.pipeline
 
     @property
-    def stats(self) -> AioStats:
-        return self._executor.stats
+    def max_in_flight(self) -> int:
+        return self._connection.async_workers
+
+    @property
+    def result_cache(self):
+        return self._connection.result_cache
 
     # ------------------------------------------------------------------
     # the three primitives
@@ -183,12 +206,29 @@ class AioConnection:
         return await self.submit_query(query, params)
 
     def submit_query(self, query, params: Sequence = ()) -> AioQueryHandle:
-        """Non-blocking submit; the paper's ``submitQuery``."""
-        label = query if isinstance(query, str) else getattr(query, "sql", "")
-        return self._executor.submit(
-            lambda: self._connection.execute_query(query, list(params)),
-            label=label[:40],
-        )
+        """Non-blocking submit; the paper's ``submitQuery``.
+
+        Must be called from a running event loop (the handle's future
+        belongs to it).
+        """
+        loop = asyncio.get_running_loop()
+        handle = self._connection.submit_query(query, list(params))
+        inner = handle.future
+        if inner.done() and not inner.cancelled():
+            # Cache hit (or failed resolve): materialize the result into
+            # an already-done asyncio future so the handle resolves at
+            # submit time — no thread hop, no task hop, no loop tick.
+            future: "asyncio.Future[Any]" = loop.create_future()
+            error = inner.exception()
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(inner.result())
+        else:
+            future = asyncio.wrap_future(inner, loop=loop)
+        self.stats.submitted += 1
+        future.add_done_callback(_book_keep(self.stats))
+        return AioQueryHandle(future, label=handle.label)
 
     submit_update = submit_query
 
@@ -204,7 +244,6 @@ class AioConnection:
         return list(await asyncio.gather(*handles))
 
     def close(self) -> None:
-        self._executor.close()
         self._connection.close()
 
     def __enter__(self) -> "AioConnection":
@@ -250,11 +289,17 @@ class AioWebClient:
         self._executor.close()
 
 
-def aio_connect(database, max_in_flight: int = 10) -> AioConnection:
-    """Open an :class:`AioConnection` on a :class:`repro.db.Database`."""
-    # One worker on the wrapped connection: its pool is never used, the
-    # AioExecutor provides all the concurrency.
-    return AioConnection(database.connect(async_workers=1), max_in_flight)
+def aio_connect(database, max_in_flight: int = 10, result_cache=None) -> AioConnection:
+    """Open an :class:`AioConnection` on a :class:`repro.db.Database`.
+
+    ``result_cache`` attaches a shared
+    :class:`~repro.prefetch.cache.ResultCache` exactly as
+    ``Database.connect`` does — the pipeline registers it with the
+    server for write-driven invalidation.
+    """
+    return AioConnection(
+        database.connect(async_workers=max_in_flight, result_cache=result_cache)
+    )
 
 
 async def as_completed(

@@ -4,6 +4,13 @@ The analog of the ``java.util.concurrent`` Executor framework used by the
 paper's transformed programs: a bounded pool of client threads, each of
 which performs one blocking round trip at a time.  The pool size is the
 "number of threads" axis in Figures 9, 10, 13 and 15.
+
+This is the *dispatch arm* of the unified submission core
+(:mod:`repro.core.submission`): the pipeline decides whether a request
+needs a round trip at all (cache hit / single-flight follower) and only
+then hands the dispatched task here.  Every runtime shares it — the
+asyncio front end wraps the produced handle's future rather than
+stacking a second pool on top.
 """
 
 from __future__ import annotations

@@ -24,6 +24,16 @@ class QueryHandle:
         self._submitted_at = time.perf_counter()
         self._label = label
 
+    @property
+    def future(self) -> "Future[Any]":
+        """The underlying ``concurrent.futures.Future``.
+
+        This is the hand-off point between runtimes: the asyncio front
+        end wraps it with ``asyncio.wrap_future`` so the same submission
+        (and the same cache hit, already resolved) is awaitable.
+        """
+        return self._future
+
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the request completes; re-raises its error."""
         return self._future.result(timeout)

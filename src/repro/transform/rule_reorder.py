@@ -80,6 +80,35 @@ def reorder(
     the round bound is a defensive backstop).
     """
     body = list(body)
+    # The movement rules rewrite statements *in place* (writer stubs
+    # rename the statement's writes, reader stubs its reads).  When the
+    # pass fails, those rewrites must not leak: the restore stubs live
+    # only in this private list, and the caller retries other query
+    # candidates against the same statement objects — transforming a
+    # later candidate over half-renamed statements miscompiles the loop.
+    snapshot = [
+        (stmt, stmt.node, stmt.guards, stmt.du, stmt.query) for stmt in body
+    ]
+    try:
+        return _reorder(header, body, query, purity, registry, allocator, max_rounds)
+    except ReorderFailed:
+        for stmt, node, guards, du, query_call in snapshot:
+            stmt.node = node
+            stmt.guards = guards
+            stmt.du = du
+            stmt.query = query_call
+        raise
+
+
+def _reorder(
+    header: Stmt,
+    body: List[Stmt],
+    query: Stmt,
+    purity: PurityEnv,
+    registry,
+    allocator: NameAllocator,
+    max_rounds: Optional[int] = None,
+) -> Tuple[List[Stmt], ReorderOutcome]:
     outcome = ReorderOutcome()
     ctx = _Ctx(purity, registry, allocator, query, header, outcome)
     rounds = 0

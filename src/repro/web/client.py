@@ -4,31 +4,43 @@
 ``submit_call``/``fetch_result`` are the asynchronous pair the
 transformed program uses.  The default transformation registry maps one
 to the other (see :mod:`repro.transform.registry`).
+
+The submit/fetch lifecycle is the shared
+:class:`repro.core.submission.CallPipeline` — the transport-agnostic
+half of the database client's submission pipeline — so the web client
+carries no duplicated dispatch or stats logic, and can optionally
+attach a :class:`~repro.prefetch.cache.ResultCache` keyed by
+``(endpoint, args)``.  The entity-graph service is read-only, so cached
+web responses only go stale through TTL expiry (set ``ttl_s`` on the
+cache) or explicit invalidation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
+from ..core.submission import CallPipeline, SubmissionStats
+from ..prefetch.cache import ResultCache
 from ..runtime.executor import AsyncExecutor
 from ..runtime.handles import QueryHandle
 from .service import EntityGraphService
 
-
-@dataclass
-class WebClientStats:
-    blocking_calls: int = 0
-    async_submits: int = 0
+#: Backwards-compatible name: web-client stats are the pipeline's stats.
+WebClientStats = SubmissionStats
 
 
 class WebServiceClient:
     """Client for :class:`EntityGraphService` with async submission."""
 
-    def __init__(self, service: EntityGraphService, async_workers: int = 10) -> None:
+    def __init__(
+        self,
+        service: EntityGraphService,
+        async_workers: int = 10,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
         self._service = service
         self._executor = AsyncExecutor(async_workers, name="web-async")
-        self.stats = WebClientStats()
+        self._pipeline = CallPipeline(self._executor, cache=result_cache)
 
     @property
     def async_workers(self) -> int:
@@ -37,14 +49,24 @@ class WebServiceClient:
     def set_async_workers(self, workers: int) -> None:
         self._executor.resize(workers)
 
+    @property
+    def stats(self) -> SubmissionStats:
+        return self._pipeline.stats
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        return self._pipeline.cache
+
     # ------------------------------------------------------------------
     # blocking API
     # ------------------------------------------------------------------
     def call(self, endpoint: str, *args: Any) -> Any:
-        """One blocking HTTP request: full round trip in this thread."""
-        self.stats.blocking_calls += 1
-        self._service.meter.charge("network", self._service.latency.request_rtt_s)
-        return self._service.submit_request(endpoint, *args).result()
+        """One blocking HTTP request: full round trip in this thread
+        (or no round trip at all, on a cache hit)."""
+        return self._pipeline.call(
+            lambda: self._round_trip(endpoint, args),
+            key=self._cache_key(endpoint, args),
+        )
 
     # convenience wrappers used by the workloads -----------------------
     def get_entity(self, entity_id: str) -> dict:
@@ -62,16 +84,14 @@ class WebServiceClient:
     def submit_call(self, endpoint: str, *args: Any) -> QueryHandle:
         """Non-blocking request submission; the round trip is paid by an
         async worker thread."""
-        self.stats.async_submits += 1
-        self._service.meter.charge("queue", self._service.latency.send_overhead_s)
-
-        def task() -> Any:
-            self._service.meter.charge(
-                "network", self._service.latency.request_rtt_s
-            )
-            return self._service.submit_request(endpoint, *args).result()
-
-        return self._executor.submit(task, label=endpoint)
+        return self._pipeline.dispatch(
+            lambda: self._round_trip(endpoint, args),
+            key=self._cache_key(endpoint, args),
+            label=endpoint,
+            on_dispatch=lambda: self._service.meter.charge(
+                "queue", self._service.latency.send_overhead_s
+            ),
+        )
 
     def submit_get_entity(self, entity_id: str) -> QueryHandle:
         return self.submit_call("get_entity", entity_id)
@@ -83,7 +103,25 @@ class WebServiceClient:
         return self.submit_call("list_type", entity_type)
 
     def fetch_result(self, handle: QueryHandle) -> Any:
-        return handle.result()
+        return self._pipeline.fetch(handle)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _round_trip(self, endpoint: str, args: tuple) -> Any:
+        self._service.meter.charge(
+            "network", self._service.latency.request_rtt_s
+        )
+        return self._service.submit_request(endpoint, *args).result()
+
+    def _cache_key(self, endpoint: str, args: tuple):
+        if self._pipeline.cache is None:
+            return None
+        try:
+            hash(args)
+        except TypeError:
+            return None
+        return (endpoint, args)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -131,6 +131,28 @@ class TestCliFlags:
         proc = run_cli([str(path), "--prefetch", "--cache-size", "0"])
         assert proc.returncode == 2
 
+    def test_cache_ttl_embeds_hint(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli(
+            [str(path), "--prefetch", "--cache-size", "64", "--cache-ttl", "2.5"]
+        )
+        assert proc.returncode == 0
+        assert "__repro_prefetch__ = {'cache_size': 64, 'ttl_s': 2.5}" in proc.stdout
+
+    def test_cache_ttl_requires_prefetch(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--cache-ttl", "2.5"])
+        assert proc.returncode == 2
+        assert "--cache-ttl requires --prefetch" in proc.stderr
+
+    def test_cache_ttl_must_be_positive(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--cache-ttl", "0"])
+        assert proc.returncode == 2
+
     def test_unwritable_output_is_reported(self, tmp_path):
         path = tmp_path / "app.py"
         path.write_text(SAMPLE)

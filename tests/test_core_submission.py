@@ -1,0 +1,362 @@
+"""The unified submission core: one cache-aware path for every runtime,
+with server-side (commit-boundary) invalidation.
+
+ISSUE 2 acceptance: `Connection` and `AioConnection` share one
+pipeline; a result cached via the sync client is a hit for the aio
+client on the same `Database`; a write through a cache-less connection
+evicts sibling caches; transactional writes invalidate only on commit.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.db import Database, INSTANT
+from repro.prefetch import ResultCache
+from repro.runtime.aio import AioConnection, aio_connect
+
+
+@pytest.fixture
+def users_db():
+    database = Database(INSTANT)
+    database.create_table(
+        "users", ("user_id", "int"), ("name", "text"), ("rating", "int")
+    )
+    database.bulk_load("users", [(i, f"user-{i}", i % 5) for i in range(50)])
+    database.create_index("idx_users", "users", "user_id", unique=True)
+    database.create_table("items", ("item_id", "int"), ("price", "int"))
+    database.bulk_load("items", [(i, i * 10) for i in range(20)])
+    yield database
+    database.close()
+
+
+READ_USER = "SELECT rating FROM users WHERE user_id = ?"
+READ_ITEM = "SELECT price FROM items WHERE item_id = ?"
+WRITE_USER = "UPDATE users SET rating = ? WHERE user_id = ?"
+
+
+class TestServerSideInvalidation:
+    def test_cacheless_write_invalidates_sibling_cache(self, users_db):
+        """ISSUE acceptance: a write through a connection with *no*
+        cache attached evicts every registered sibling cache."""
+        cache = ResultCache(capacity=16)
+        reader = users_db.connect(result_cache=cache)
+        writer = users_db.connect()  # cache-less
+        assert reader.execute_query(READ_USER, [7]).scalar() == 2
+        assert (READ_USER, (7,)) in cache
+        writer.execute_update(WRITE_USER, [99, 7])
+        assert (READ_USER, (7,)) not in cache
+        assert cache.stats.invalidations >= 1
+        assert reader.execute_query(READ_USER, [7]).scalar() == 99
+        reader.close()
+        writer.close()
+
+    def test_cacheless_write_leaves_other_tables_cached(self, users_db):
+        cache = ResultCache(capacity=16)
+        reader = users_db.connect(result_cache=cache)
+        writer = users_db.connect()
+        reader.execute_query(READ_USER, [1])
+        reader.execute_query(READ_ITEM, [1])
+        writer.execute_update(WRITE_USER, [5, 1])
+        assert (READ_ITEM, (1,)) in cache
+        assert (READ_USER, (1,)) not in cache
+        reader.close()
+        writer.close()
+
+    def test_write_invalidates_every_registered_cache(self, users_db):
+        first_cache = ResultCache(capacity=8)
+        second_cache = ResultCache(capacity=8)
+        first = users_db.connect(result_cache=first_cache)
+        second = users_db.connect(result_cache=second_cache)
+        first.execute_query(READ_USER, [3])
+        second.execute_query(READ_USER, [3])
+        first.execute_update(WRITE_USER, [40, 3])
+        assert (READ_USER, (3,)) not in first_cache
+        assert (READ_USER, (3,)) not in second_cache
+        assert second.execute_query(READ_USER, [3]).scalar() == 40
+        first.close()
+        second.close()
+
+    def test_shared_cache_registers_once(self, users_db):
+        cache = ResultCache(capacity=8)
+        first = users_db.connect(result_cache=cache)
+        second = users_db.connect(result_cache=cache)
+        assert users_db.server.registered_cache_count == 1
+        first.close()
+        second.close()
+
+    def test_transactional_write_invalidates_on_commit(self, users_db):
+        cache = ResultCache(capacity=16)
+        reader = users_db.connect(result_cache=cache)
+        writer = users_db.connect()  # transactions need no cache
+        assert reader.execute_query(READ_USER, [4]).scalar() == 4
+        writer.begin()
+        writer.execute_update(WRITE_USER, [70, 4])
+        # Uncommitted: the cached entry must survive the statement.
+        assert (READ_USER, (4,)) in cache
+        writer.commit()
+        assert (READ_USER, (4,)) not in cache
+        assert reader.execute_query(READ_USER, [4]).scalar() == 70
+        reader.close()
+        writer.close()
+
+    def test_rolled_back_write_does_not_invalidate(self, users_db):
+        """A rollback restores the pre-transaction rows, which is what
+        the cache holds — no invalidation, the entry stays valid."""
+        cache = ResultCache(capacity=16)
+        reader = users_db.connect(result_cache=cache)
+        writer = users_db.connect()
+        assert reader.execute_query(READ_USER, [9]).scalar() == 4
+        invalidations = cache.stats.invalidations
+        writer.begin()
+        writer.execute_update(WRITE_USER, [70, 9])
+        writer.rollback()
+        assert (READ_USER, (9,)) in cache
+        assert cache.stats.invalidations == invalidations
+        assert reader.execute_query(READ_USER, [9]).scalar() == 4
+        reader.close()
+        writer.close()
+
+    def test_dirty_read_during_open_txn_is_not_cached(self, users_db):
+        """Non-txn reads take no table locks, so a reader can observe an
+        uncommitted value — but must never *cache* it: after rollback
+        (which broadcasts nothing) that value never existed in any
+        committed state."""
+        cache = ResultCache(capacity=16)
+        reader = users_db.connect(result_cache=cache)
+        writer = users_db.connect()
+        writer.begin()
+        writer.execute_update(WRITE_USER, [99, 7])  # uncommitted
+        assert reader.execute_query(READ_USER, [7]).scalar() == 99  # dirty
+        assert (READ_USER, (7,)) not in cache  # ...but not retained
+        writer.rollback()
+        assert reader.execute_query(READ_USER, [7]).scalar() == 2
+        assert (READ_USER, (7,)) in cache  # clean value caches normally
+        reader.close()
+        writer.close()
+
+    def test_rollback_spoils_overlapping_read_via_version_bump(self, users_db):
+        """An owner lease acquired before the transaction's write must
+        not publish a value read inside the dirty window: the rollback's
+        undo bumps the table's write version, failing the publication
+        check."""
+        cache = ResultCache(capacity=16)
+        pipeline_server = users_db.server
+        lease = cache.acquire((READ_USER, (7,)), tables=["users"])
+        token = pipeline_server.read_validity(["users"])
+        writer = users_db.connect()
+        writer.begin()
+        writer.execute_update(WRITE_USER, [99, 7])
+        dirty = writer.server.execute(READ_USER, (7,)).scalar()  # in-window read
+        writer.rollback()
+        assert pipeline_server.read_validity(["users"]) != token
+        cache.complete(
+            lease, dirty, retain=pipeline_server.read_validity(["users"]) == token
+        )
+        assert (READ_USER, (7,)) not in cache
+        writer.close()
+
+    def test_standalone_cache_registration(self, users_db):
+        cache = ResultCache(capacity=8)
+        users_db.register_cache(cache)
+        lease = cache.acquire((READ_USER, (1,)), tables=["users"])
+        cache.complete(lease, "cached")
+        users_db.connect().execute_update(WRITE_USER, [1, 1])
+        assert (READ_USER, (1,)) not in cache
+
+
+class TestSharedPipeline:
+    def test_aio_and_sync_share_one_pipeline(self, users_db):
+        conn = users_db.connect(result_cache=ResultCache(capacity=8))
+        aconn = AioConnection(conn)
+        assert aconn.pipeline is conn.pipeline
+        conn.close()
+
+    def test_sync_fill_is_aio_hit(self, users_db):
+        """ISSUE acceptance: a result cached via the sync client is a
+        hit for the aio client on the same Database."""
+        cache = ResultCache(capacity=16)
+        sync_conn = users_db.connect(result_cache=cache)
+        assert sync_conn.execute_query(READ_USER, [6]).scalar() == 1
+        executed = users_db.server.stats.statements_executed
+
+        async def main():
+            aconn = aio_connect(users_db, max_in_flight=4, result_cache=cache)
+            try:
+                handle = aconn.submit_query(READ_USER, [6])
+                assert handle.done()  # cache hit: resolved at submit
+                return (await handle).scalar()
+            finally:
+                aconn.close()
+
+        assert asyncio.run(main()) == 1
+        assert users_db.server.stats.statements_executed == executed
+        sync_conn.close()
+
+    def test_aio_fill_is_sync_hit(self, users_db):
+        cache = ResultCache(capacity=16)
+
+        async def main():
+            aconn = aio_connect(users_db, result_cache=cache)
+            try:
+                return (await aconn.execute_query(READ_USER, [8])).scalar()
+            finally:
+                aconn.close()
+
+        assert asyncio.run(main()) == 3
+        sync_conn = users_db.connect(result_cache=cache)
+        executed = users_db.server.stats.statements_executed
+        assert sync_conn.execute_query(READ_USER, [8]).scalar() == 3
+        assert users_db.server.stats.statements_executed == executed
+        assert sync_conn.stats.cache_hits == 1
+        sync_conn.close()
+
+    def test_cacheless_write_observed_by_aio_reader(self, users_db):
+        """Cross-runtime invalidation: write via a cache-less sync
+        connection, then the aio client must re-read fresh data."""
+        cache = ResultCache(capacity=16)
+        writer = users_db.connect()
+
+        async def read():
+            aconn = aio_connect(users_db, result_cache=cache)
+            try:
+                return (await aconn.execute_query(READ_USER, [2])).scalar()
+            finally:
+                aconn.close()
+
+        assert asyncio.run(read()) == 2
+        writer.execute_update(WRITE_USER, [88, 2])
+        assert asyncio.run(read()) == 88
+        writer.close()
+
+    def test_aio_stats_still_track_outcomes(self, users_db):
+        cache = ResultCache(capacity=16)
+
+        async def main():
+            aconn = aio_connect(users_db, result_cache=cache)
+            try:
+                first = aconn.submit_query(READ_USER, [5])
+                await first
+                second = aconn.submit_query(READ_USER, [5])  # hit
+                await second
+                await asyncio.sleep(0)
+                return aconn.stats
+            finally:
+                aconn.close()
+
+        stats = asyncio.run(main())
+        assert stats.submitted == 2
+        assert stats.completed == 2
+        assert cache.stats.hits == 1
+
+
+class TestWebClientPipeline:
+    def test_web_cache_hit_skips_round_trip(self):
+        from repro.web import EntityGraphService, WebLatency
+        from repro.web.client import WebServiceClient
+
+        service = EntityGraphService(WebLatency())
+        service.add_entity("e1", "director", name="one")
+        client = WebServiceClient(
+            service, async_workers=2, result_cache=ResultCache(capacity=8)
+        )
+        try:
+            first = client.get_entity("e1")
+            second = client.get_entity("e1")
+            assert first == second
+            assert client.stats.cache_hits == 1
+            handle = client.submit_get_entity("e1")
+            assert handle.done()  # hit resolves at submit
+            assert client.fetch_result(handle) == first
+        finally:
+            client.close()
+            service.shutdown()
+
+
+class TestCacheTtl:
+    def test_entry_expires_after_ttl(self):
+        now = [0.0]
+        cache = ResultCache(capacity=8, ttl_s=10.0, clock=lambda: now[0])
+        cache.complete(cache.acquire("k", tables=["t"]), "value")
+        assert cache.acquire("k", tables=["t"]).is_hit
+        now[0] = 10.0
+        lease = cache.acquire("k", tables=["t"])
+        assert lease.is_owner  # expired: this lookup re-executes
+        assert cache.stats.expirations == 1
+        cache.complete(lease, "fresh")
+        assert cache.acquire("k", tables=["t"]).value == "fresh"
+
+    def test_ttl_counts_as_miss(self):
+        now = [0.0]
+        cache = ResultCache(capacity=8, ttl_s=5.0, clock=lambda: now[0])
+        cache.complete(cache.acquire("k"), 1)
+        now[0] = 6.0
+        assert "k" not in cache
+        cache.acquire("k")
+        assert cache.stats.misses == 2  # initial load + expired lookup
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl_s=0)
+
+    def test_ttl_on_connection_path(self, users_db):
+        now = [0.0]
+        cache = ResultCache(capacity=16, ttl_s=30.0, clock=lambda: now[0])
+        conn = users_db.connect(result_cache=cache)
+        conn.execute_query(READ_USER, [3])
+        executed = users_db.server.stats.statements_executed
+        conn.execute_query(READ_USER, [3])  # within TTL: served locally
+        assert users_db.server.stats.statements_executed == executed
+        now[0] = 31.0
+        conn.execute_query(READ_USER, [3])  # expired: re-executed
+        assert users_db.server.stats.statements_executed == executed + 1
+        assert cache.stats.expirations == 1
+        conn.close()
+
+
+class TestNegativeCachingKnob:
+    def test_empty_results_not_retained(self):
+        cache = ResultCache(capacity=8, cache_empty_results=False)
+        cache.complete(cache.acquire("k", tables=["t"]), [])
+        assert "k" not in cache
+        assert cache.acquire("k", tables=["t"]).is_owner
+
+    def test_non_empty_results_retained(self):
+        cache = ResultCache(capacity=8, cache_empty_results=False)
+        cache.complete(cache.acquire("k", tables=["t"]), [1])
+        assert "k" in cache
+
+    def test_unsized_results_retained(self):
+        cache = ResultCache(capacity=8, cache_empty_results=False)
+        cache.complete(cache.acquire("k", tables=["t"]), object())
+        assert "k" in cache
+
+    def test_empty_read_becomes_visible_after_insert(self, users_db):
+        cache = ResultCache(capacity=16, cache_empty_results=False)
+        conn = users_db.connect(result_cache=cache)
+        missing = "SELECT rating FROM users WHERE user_id = ?"
+        assert len(conn.execute_query(missing, [777])) == 0
+        conn.execute_update(
+            "INSERT INTO users (user_id, name, rating) VALUES (?, ?, ?)",
+            [777, "late", 9],
+        )
+        assert conn.execute_query(missing, [777]).scalar() == 9
+        conn.close()
+
+
+class TestSingleModuleCacheLookup:
+    def test_cache_lookup_lives_only_in_core_submission(self):
+        """ISSUE acceptance (grep-equivalent): client/runtime front ends
+        carry no cache-lookup code of their own."""
+        import inspect
+
+        import repro.client.connection as connection
+        import repro.core.submission as submission
+        import repro.runtime.aio as aio
+        import repro.runtime.executor as executor
+
+        assert "acquire(" in inspect.getsource(submission)
+        for module in (connection, aio, executor):
+            source = inspect.getsource(module)
+            assert ".acquire(" not in source
+            assert "is_hit" not in source

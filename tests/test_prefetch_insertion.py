@@ -284,6 +284,25 @@ def f(conn, x):
         with pytest.raises(ValueError):
             transform("def f(conn):\n    pass\n", cache_size=0)
 
+    def test_cache_ttl_hint_embedded(self):
+        result = transform(
+            """
+def f(conn, x):
+    r = conn.execute_query("q", [x])
+    return r.scalar()
+""",
+            cache_size=32,
+            cache_ttl_s=1.5,
+        )
+        assert result.source.startswith(
+            "__repro_prefetch__ = {'cache_size': 32, 'ttl_s': 1.5}"
+        )
+        compile(result.source, "<prefetched>", "exec")
+
+    def test_invalid_cache_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            transform("def f(conn):\n    pass\n", cache_ttl_s=0)
+
     def test_loop_fission_still_runs(self):
         result = transform(
             """

@@ -35,6 +35,29 @@ def test_prefetch_cache_beats_blocking_and_matches_async(benchmark):
     assert "hit-rate 0.00" not in top_note, "cache hit rate must be > 0"
 
 
+def test_speculative_prefetch_hides_latency(benchmark):
+    """ISSUE 4 acceptance: the speculative series must beat the
+    guarded-only baseline on the hotset card workload (the detail
+    lookup's guard depends on the first query's result, so only an
+    unguarded submit can overlap the two round trips), and the
+    submission stats must account for every speculation as a hit or a
+    waste."""
+    figure = run_once(benchmark, figures.run_speculative_prefetch)
+    print()
+    print(figure.format())
+    top = max(figure.xs())
+    vs_guarded = figure.speedup("guarded", "speculative", top)
+    assert vs_guarded is not None and vs_guarded > 1.0, (
+        f"speculative must beat the guarded-only baseline at {top} "
+        f"iterations, got {vs_guarded}"
+    )
+    vs_blocking = figure.speedup("blocking", "speculative", top)
+    assert vs_blocking is not None and vs_blocking > 1.0
+    top_note = [note for note in figure.notes if note.startswith(f"{top} ")][0]
+    assert " hits / " in top_note and " speculations" in top_note
+    assert "hit-rate 0.00" not in top_note, "speculation hit rate must be > 0"
+
+
 def test_mixed_sync_aio_invalidation_under_load(benchmark):
     """Mixed multi-client series (ISSUE 2): a sync client and an aio
     client share one cache while a cache-less writer churns the hot
@@ -51,4 +74,5 @@ def test_mixed_sync_aio_invalidation_under_load(benchmark):
 
 if __name__ == "__main__":
     print(figures.run_prefetch_cache().format())
+    print(figures.run_speculative_prefetch().format())
     print(figures.run_mixed_clients().format())

@@ -68,9 +68,11 @@ from .runtime import (
     SpillableRecordTable,
     aio_connect,
 )
+from .core import SpeculativeHandle
 from .transform import (
     QueryRegistry,
     QuerySpec,
+    SpeculationPolicy,
     TransformEngine,
     TransformError,
     TransformResult,
@@ -114,6 +116,8 @@ __all__ = [
     "SpillableRecordTable",
     "QueryRegistry",
     "QuerySpec",
+    "SpeculationPolicy",
+    "SpeculativeHandle",
     "TransformEngine",
     "TransformError",
     "TransformResult",

@@ -37,7 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--report", action="store_true",
-        help="print the per-loop transformation report to stderr",
+        help=(
+            "print the transformation report (per-loop outcomes and, "
+            "with --prefetch, per-site hoists) to stderr"
+        ),
     )
     parser.add_argument(
         "--analyze", action="store_true",
@@ -74,6 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--speculate", action="store_true",
+        help=(
+            "enable speculative (unguarded) prefetch: a read-only "
+            "submit may be hoisted above its consuming conditional even "
+            "when the guard is unknown, as a speculate_query dispatch "
+            "whose handle is abandoned if the guard turns out false; "
+            "each site is gated by the cost model's breakeven advice "
+            "(requires --prefetch)"
+        ),
+    )
+    parser.add_argument(
+        "--speculate-threshold", type=float, default=None, metavar="P",
+        help=(
+            "minimum hit probability (0..1) the pass's static estimate "
+            "(0.5 for every site) must clear to speculate — in effect "
+            "an on/off confidence gate today: above 0.5 disables all "
+            "speculation, otherwise the profile's breakeven point "
+            "decides (requires --speculate; per-site estimates are "
+            "policy/API-level)"
+        ),
+    )
+    parser.add_argument(
         "--commuting-updates", action="store_true",
         help="declare execute_update calls commutative (Experiment 4)",
     )
@@ -81,8 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--barrier", action="append", default=[], metavar="METHOD",
         help=(
             "treat METHOD calls as transaction-scope barriers that no "
-            "statement may cross (begin/commit/rollback are built in); "
-            "repeatable"
+            "statement may cross (begin/commit/rollback/transaction are "
+            "built in); repeatable"
         ),
     )
     return parser
@@ -101,6 +126,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--cache-ttl requires --prefetch")
         if args.cache_ttl <= 0:
             parser.error(f"--cache-ttl must be > 0, got {args.cache_ttl}")
+    if args.speculate and not args.prefetch:
+        parser.error("--speculate requires --prefetch")
+    if args.speculate_threshold is not None:
+        if not args.speculate:
+            parser.error("--speculate-threshold requires --speculate")
+        if not 0.0 <= args.speculate_threshold <= 1.0:
+            parser.error(
+                "--speculate-threshold must be within [0, 1], got "
+                f"{args.speculate_threshold}"
+            )
     path = Path(args.source)
     try:
         source = path.read_text()
@@ -132,6 +167,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 window=args.window,
                 cache_size=args.cache_size,
                 cache_ttl_s=args.cache_ttl,
+                speculate=args.speculate,
+                speculate_threshold=args.speculate_threshold,
             )
         else:
             result = asyncify_source(

@@ -23,7 +23,11 @@ from typing import Any, List, Optional, Sequence, Union
 
 from contextlib import contextmanager
 
-from ..core.submission import SubmissionPipeline, SubmissionStats
+from ..core.submission import (
+    SpeculativeHandle,
+    SubmissionPipeline,
+    SubmissionStats,
+)
 from ..db.errors import DatabaseError, TransactionStateError
 from ..db.plan import QueryResult
 from ..db.server import DatabaseServer, PreparedStatement
@@ -194,6 +198,26 @@ class Connection:
     def submit_update(self, query: Query, params: Sequence = ()) -> QueryHandle:
         return self.submit_query(query, params)
 
+    def speculate_query(
+        self, query: Query, params: Sequence = ()
+    ) -> SpeculativeHandle:
+        """Speculative submit: issue a read whose consumer may never run.
+
+        The prefetch pass's unguarded mode emits this for a submit
+        hoisted above a conditional whose outcome is still unknown.
+        Fetch the handle to consume the result (counted as a
+        speculation hit), or drop it — unconsumed handles are abandoned
+        and drained when the connection closes, and an abandoned or
+        failed speculation never publishes a value to the result cache.
+        """
+        self._ensure_open()
+        return self._pipeline.speculate(query, params, txn=self._txn)
+
+    def abandon(self, handle: SpeculativeHandle) -> bool:
+        """Explicitly settle a speculative handle as wasted (optional;
+        dropped handles are drained at close)."""
+        return self._pipeline.abandon(handle)
+
     def fetch_result(self, handle: QueryHandle) -> QueryResult:
         """Blocking fetch: the paper's ``fetchResult``."""
         return self._pipeline.fetch(handle)
@@ -276,6 +300,10 @@ class Connection:
     # ------------------------------------------------------------------
     def close(self) -> None:
         if not self._closed:
+            # Outstanding speculations first: abandoned handles must not
+            # leak executor work (or transaction in-flight accounting)
+            # past the connection's lifetime.
+            self._pipeline.drain_speculations(wait=True)
             if self.in_transaction:
                 # Mirror real drivers: an unfinished transaction rolls
                 # back on close, releasing its locks.

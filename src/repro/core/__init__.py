@@ -8,6 +8,16 @@ model vs. callbacks vs. blocking) is a mechanical choice; this package
 is the repo's enforcement of that premise at the architecture level.
 """
 
-from .submission import CallPipeline, SubmissionPipeline, SubmissionStats
+from .submission import (
+    CallPipeline,
+    SpeculativeHandle,
+    SubmissionPipeline,
+    SubmissionStats,
+)
 
-__all__ = ["CallPipeline", "SubmissionPipeline", "SubmissionStats"]
+__all__ = [
+    "CallPipeline",
+    "SpeculativeHandle",
+    "SubmissionPipeline",
+    "SubmissionStats",
+]

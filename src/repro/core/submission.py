@@ -29,17 +29,49 @@ transaction-commit boundary for transactional writes — so a write
 through *any* connection (cached, cache-less, or transactional)
 invalidates every registered cache.
 
+**Cache-key semantics.**  The key is the normalized ``(sql, params)``
+pair; it carries no connection or runtime identity, so any front end's
+fill is any other front end's hit.  A request is *uncacheable* (the
+pipeline bypasses the cache entirely) when it is a write, its params
+are unhashable, it runs inside an explicit transaction, or another
+transaction holds uncommitted writes against its tables; a completed
+read is *retained* only if the tables' write-version token is unchanged
+at publication time.  Together these guarantee a cached value is always
+a committed, non-stale read.
+
+**Speculative dispatch.**  :meth:`SubmissionPipeline.speculate` issues
+a read whose consumer may never materialize (the prefetch pass's
+unguarded mode).  The contract:
+
+* the returned :class:`SpeculativeHandle` is tagged (``speculative`` is
+  True) and tracked by the pipeline until *settled* — either consumed
+  through ``fetch`` (a **hit**) or abandoned (a **waste**), each
+  counted once in :class:`SubmissionStats`;
+* an abandoned speculation that is still queued and invisible to other
+  callers (no cache lease, no transaction accounting) is cancelled
+  outright; otherwise it is left to finish — single-flight followers
+  may be real reads, and a completed result is published through the
+  exact same validity checks as any other read, so an abandoned or
+  failed speculation can never plant a stale or failed value in the
+  cache;
+* :meth:`SubmissionPipeline.drain_speculations` (called by
+  ``Connection.close``) abandons every unsettled handle and waits the
+  in-flight ones out, so dropped handles never leak executor work past
+  the connection's lifetime.
+
 :class:`CallPipeline` is the transport-agnostic half (cache lookup,
-single-flight, dispatch, stats); :class:`SubmissionPipeline` layers the
-SQL specifics (statement resolution, transaction rules, network
-charges) on top.  Both live here so cache-lookup logic exists in exactly
-one module.
+single-flight, dispatch, speculation ledger, stats);
+:class:`SubmissionPipeline` layers the SQL specifics (statement
+resolution, transaction rules, network charges) on top.  Both live here
+so cache-lookup logic exists in exactly one module.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import CancelledError
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, Optional, Sequence, Set, Tuple
 
 from ..db.errors import DatabaseError, TransactionStateError
 from ..db.plan import QueryResult
@@ -59,6 +91,80 @@ class SubmissionStats:
     async_submits: int = 0
     fetches: int = 0
     cache_hits: int = 0
+    #: Speculative dispatches issued (``speculate``).  Every speculation
+    #: eventually settles as exactly one hit or one waste; handles still
+    #: unsettled (neither fetched nor abandoned yet) account for the
+    #: difference ``speculations - speculation_hits - speculation_wasted``.
+    speculations: int = 0
+    #: Speculations whose handle was consumed by a fetch — the guard
+    #: turned out true and the hidden round trip paid off.
+    speculation_hits: int = 0
+    #: Speculations abandoned unconsumed — explicitly, by the drain on
+    #: connection close, or by the ledger's high-water sweep of
+    #: completed-but-unclaimed handles — the guard turned out false.
+    speculation_wasted: int = 0
+
+
+class SpeculativeHandle(QueryHandle):
+    """A :class:`QueryHandle` whose consumer may never materialize.
+
+    Returned by the ``speculate`` path; the prefetch pass's unguarded
+    lift assigns it unconditionally and fetches it only on the guarded
+    path.  ``abandon()`` settles it as wasted (idempotent; a no-op once
+    fetched); unsettled handles are swept by
+    :meth:`CallPipeline.drain_speculations`.
+    """
+
+    __slots__ = ("_pipeline", "_cancellable")
+
+    #: Class-level tag: lets front ends and tests recognize speculative
+    #: handles without importing this module's internals.
+    speculative = True
+
+    def __init__(
+        self,
+        future,
+        label: str = "",
+        pipeline: Optional["CallPipeline"] = None,
+        cancellable: bool = False,
+    ) -> None:
+        super().__init__(future, label=label)
+        self._pipeline = pipeline
+        self._cancellable = cancellable
+
+    @property
+    def cancellable(self) -> bool:
+        """May an abandon cancel the underlying dispatch outright?
+
+        Only when nobody else can observe it: no single-flight cache
+        lease (a follower may be a real read) and no transaction
+        in-flight accounting to unwind.
+        """
+        return self._cancellable
+
+    def abandon(self) -> bool:
+        """Settle this speculation as wasted.
+
+        Returns True when this call did the settling; False when the
+        handle was already fetched or abandoned.  Do not fetch an
+        abandoned handle: a still-queued dispatch may have been
+        cancelled, making ``result()`` raise ``CancelledError``.
+        """
+        if self._pipeline is None:
+            return False
+        return self._pipeline._settle_speculation(self, hit=False)
+
+    def claim(self) -> bool:
+        """Settle this speculation as a hit without blocking on it.
+
+        ``fetch`` claims implicitly; front ends that wait through their
+        own machinery (the asyncio adapter awaits the wrapped future
+        directly) claim before waiting so a concurrent drain cannot
+        misclassify a consumed handle as wasted.
+        """
+        if self._pipeline is None:
+            return False
+        return self._pipeline._settle_speculation(self, hit=True)
 
 
 class CallPipeline:
@@ -76,6 +182,16 @@ class CallPipeline:
         self._executor = executor
         self._cache = cache
         self.stats = SubmissionStats()
+        self._spec_lock = threading.Lock()
+        #: Unsettled speculative handles (strong refs: a handle dropped
+        #: by the application must still be abandonable by the drain).
+        self._speculations: Set[SpeculativeHandle] = set()
+
+    #: Ledger high-water mark: past this many unsettled speculations,
+    #: completed-but-unclaimed handles are swept as wasted so a
+    #: long-lived connection that never fetches its guard-false handles
+    #: cannot grow the ledger without bound.
+    SPECULATION_HIGH_WATER = 1024
 
     @property
     def cache(self) -> Optional[ResultCache]:
@@ -152,6 +268,21 @@ class CallPipeline:
             if lease.is_follower:
                 self.stats.cache_hits += 1
                 return QueryHandle(lease.future, label=label)
+        return self._run_task(
+            invoke, lease, label, on_dispatch, cleanup, still_valid
+        )
+
+    def _run_task(
+        self,
+        invoke: Callable[[], Any],
+        lease,
+        label: str,
+        on_dispatch: Optional[Callable[[], None]],
+        cleanup: Optional[Callable[[], None]],
+        still_valid: Optional[Callable[[], bool]],
+    ) -> QueryHandle:
+        """Build and submit the executor task for a real dispatch
+        (shared by :meth:`dispatch` and :meth:`speculate`)."""
         if on_dispatch is not None:
             on_dispatch()
 
@@ -182,9 +313,147 @@ class CallPipeline:
                 self._cache.fail(lease, exc)
             raise
 
+    # ------------------------------------------------------------------
+    # speculative path
+    # ------------------------------------------------------------------
+    def speculate(
+        self,
+        invoke: Callable[[], Any],
+        key: Any = None,
+        tables: Optional[Iterable[str]] = None,
+        label: str = "",
+        on_dispatch: Optional[Callable[[], None]] = None,
+        cleanup: Optional[Callable[[], None]] = None,
+        still_valid: Optional[Callable[[], bool]] = None,
+    ) -> SpeculativeHandle:
+        """Dispatch a read whose handle may be dropped (see the module
+        docstring's speculation contract).
+
+        The cache protocol is identical to :meth:`dispatch` — a
+        speculation that races a real identical read single-flights with
+        it, and its completed value publishes through the same validity
+        checks — only the handle type, the stats and the settle ledger
+        differ.
+        """
+        self.stats.speculations += 1
+        lease = self._acquire(key, tables)
+        if lease is not None:
+            if lease.is_hit:
+                self.stats.cache_hits += 1
+                return self._track(
+                    SpeculativeHandle(
+                        completed_handle(lease.value).future,
+                        label=label,
+                        pipeline=self,
+                    )
+                )
+            if lease.is_follower:
+                self.stats.cache_hits += 1
+                return self._track(
+                    SpeculativeHandle(lease.future, label=label, pipeline=self)
+                )
+        inner = self._run_task(
+            invoke, lease, label, on_dispatch, cleanup, still_valid
+        )
+        return self._track(
+            SpeculativeHandle(
+                inner.future,
+                label=label,
+                pipeline=self,
+                cancellable=(lease is None and cleanup is None),
+            )
+        )
+
+    def speculate_failed(
+        self, error: BaseException, label: str = ""
+    ) -> SpeculativeHandle:
+        """Record a speculation that failed before dispatch.
+
+        Owns the same counting + ledger contract as :meth:`speculate`
+        (the hits+wasted==speculations invariant), for callers whose
+        request could not even be resolved: the error surfaces at fetch
+        time, or vanishes if the handle is abandoned.
+        """
+        self.stats.speculations += 1
+        return self._track(
+            SpeculativeHandle(
+                failed_handle(error).future, label=label, pipeline=self
+            )
+        )
+
+    def abandon(self, handle: SpeculativeHandle) -> bool:
+        """Settle a speculative handle as wasted (see ``abandon``)."""
+        return handle.abandon()
+
+    def drain_speculations(self, wait: bool = True) -> int:
+        """Abandon every unsettled speculation; returns how many.
+
+        ``wait=True`` (the default; used by connection close) blocks
+        until the non-cancelled ones finish, so no executor work
+        outlives the caller.  Failures of abandoned speculations are
+        swallowed — nobody is left to observe them.
+        """
+        with self._spec_lock:
+            pending = list(self._speculations)
+        for handle in pending:
+            handle.abandon()
+        if wait:
+            for handle in pending:
+                try:
+                    handle.exception()
+                except CancelledError:
+                    pass
+        return len(pending)
+
+    def _track(self, handle: SpeculativeHandle) -> SpeculativeHandle:
+        with self._spec_lock:
+            self._speculations.add(handle)
+            excess = len(self._speculations) - self.SPECULATION_HIGH_WATER
+            stale: list = []
+            if excess > 0:
+                # Sweep only the *oldest* completed handles (freshly
+                # issued ones may be about to be fetched — abandoning
+                # them would misreport profitable speculation as waste).
+                done = [
+                    h
+                    for h in self._speculations
+                    if h is not handle and h.done()
+                ]
+                done.sort(key=lambda h: h.age_s, reverse=True)
+                stale = done[:excess]
+        for old in stale:
+            # Completed long ago and never claimed: almost certainly a
+            # guard-false handle the generated code dropped.  Settling
+            # it as wasted bounds the ledger; a later fetch still
+            # returns the result (claim just reports False).
+            old.abandon()
+        return handle
+
+    def _settle_speculation(self, handle: SpeculativeHandle, hit: bool) -> bool:
+        with self._spec_lock:
+            if handle not in self._speculations:
+                return False  # already settled (fetch/abandon race)
+            self._speculations.discard(handle)
+            if hit:
+                self.stats.speculation_hits += 1
+            else:
+                self.stats.speculation_wasted += 1
+        if not hit and handle.cancellable:
+            # Still-queued and invisible to anyone else: skip the round
+            # trip entirely.  A task already running just completes.
+            handle.future.cancel()
+        return True
+
+    # ------------------------------------------------------------------
     def fetch(self, handle: QueryHandle) -> Any:
-        """Blocking fetch: the paper's ``fetchResult``."""
+        """Blocking fetch: the paper's ``fetchResult``.
+
+        Consuming a speculative handle settles it as a hit — the guard
+        turned out true and the speculated work was wanted.
+        """
         self.stats.fetches += 1
+        if isinstance(handle, SpeculativeHandle):
+            handle.claim()
         return handle.result()
 
     # ------------------------------------------------------------------
@@ -296,6 +565,16 @@ class SubmissionPipeline:
                 self.stats.async_submits += 1
                 return failed_handle(exc)
 
+        return self._calls.dispatch(
+            lambda: self._round_trip(prepared, bound, txn),
+            **self._dispatch_args(prepared, bound, txn),
+        )
+
+    def _dispatch_args(self, prepared: PreparedStatement, bound: tuple, txn):
+        """The shared dispatch wiring of :meth:`submit` and
+        :meth:`speculate`: send-overhead charge, transaction in-flight
+        accounting, and the cache plan — one place, two entry points."""
+
         def on_dispatch() -> None:
             self._server.meter.charge(
                 "queue", self._server.profile.send_overhead_s
@@ -304,8 +583,7 @@ class SubmissionPipeline:
                 txn.enter_async()
 
         key, tables, still_valid = self._cache_plan(prepared, bound, txn)
-        return self._calls.dispatch(
-            lambda: self._round_trip(prepared, bound, txn),
+        return dict(
             key=key,
             tables=tables,
             label=prepared.sql[:40],
@@ -317,6 +595,51 @@ class SubmissionPipeline:
     def fetch(self, handle: QueryHandle) -> QueryResult:
         """Blocking fetch: the paper's ``fetchResult``."""
         return self._calls.fetch(handle)
+
+    # ------------------------------------------------------------------
+    # speculation
+    # ------------------------------------------------------------------
+    def speculate(
+        self, query, params: Sequence = (), txn: Optional[Transaction] = None
+    ) -> "SpeculativeHandle":
+        """Speculative submit: a read whose consumer may never run.
+
+        Same request path as :meth:`submit` (cache single-flight,
+        executor dispatch, publication validity checks), but the handle
+        is tagged and tracked until fetched (a *hit*) or abandoned (a
+        *waste*) — see the module docstring's speculation contract.
+
+        Writes are rejected outright: speculatively executing a write
+        would change database state the original program might never
+        have changed.  Inside an explicit transaction the speculation
+        runs like any asynchronous read — under the transaction's
+        shared locks, bypassing the cache — so an uncommitted value can
+        never be published.
+        """
+        try:
+            prepared, bound = self.resolve(query, params)
+        except Exception as exc:
+            # Mirror submit's observer-model contract: resolution
+            # problems surface at fetch time (or vanish if abandoned).
+            return self._calls.speculate_failed(exc)
+        if is_write(prepared.ast):
+            raise DatabaseError(
+                "refusing to speculate a write statement; speculation is "
+                "read-only by contract"
+            )
+        return self._calls.speculate(
+            lambda: self._round_trip(prepared, bound, txn),
+            **self._dispatch_args(prepared, bound, txn),
+        )
+
+    def abandon(self, handle: "SpeculativeHandle") -> bool:
+        """Settle a speculative handle as wasted (idempotent)."""
+        return self._calls.abandon(handle)
+
+    def drain_speculations(self, wait: bool = True) -> int:
+        """Abandon every unsettled speculation (connection close calls
+        this so dropped handles never leak executor work)."""
+        return self._calls.drain_speculations(wait=wait)
 
     # ------------------------------------------------------------------
     # internals

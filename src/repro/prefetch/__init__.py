@@ -13,7 +13,12 @@ them.
 * :mod:`repro.prefetch.tables`    — SQL → touched-tables mapping used by
   the invalidation path (wildcard fallback for unknown text).
 * :mod:`repro.prefetch.insertion` — the prefetch-insertion transform and
-  the :func:`prefetch_source` front end.
+  the :func:`prefetch_source` front end.  Guarded hoists preserve the
+  query multiset; the speculative (unguarded) mode — gated per site by
+  :class:`repro.transform.costmodel.SpeculationPolicy` — may issue
+  extra read-only submissions whose handles are abandoned when the
+  consuming guard turns out false (the runtime contract lives in
+  :meth:`repro.core.submission.SubmissionPipeline.speculate`).
 
 Runtime wiring lives in the unified submission core
 (:class:`repro.core.submission.SubmissionPipeline`, reached through

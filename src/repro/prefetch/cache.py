@@ -160,7 +160,25 @@ class Lease:
 
 
 class ResultCache:
-    """Bounded LRU cache of query results keyed by ``(sql, params)``."""
+    """Bounded LRU cache of query results keyed by ``(sql, params)``.
+
+    The single-flight protocol in miniature — the first caller owns the
+    load, completes it, and later lookups hit until a write to a read
+    table invalidates the entry:
+
+    >>> cache = ResultCache(capacity=2)
+    >>> lease = cache.acquire(("SELECT ...", (1,)), tables=["users"])
+    >>> lease.is_owner
+    True
+    >>> cache.complete(lease, "row-1")
+    'row-1'
+    >>> cache.acquire(("SELECT ...", (1,)), tables=["users"]).value
+    'row-1'
+    >>> cache.invalidate_table("users")
+    1
+    >>> cache.acquire(("SELECT ...", (1,)), tables=["users"]).is_owner
+    True
+    """
 
     def __init__(
         self,

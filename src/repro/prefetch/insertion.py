@@ -41,6 +41,22 @@ iteration never reorders anything across iterations):
 
 A rewrite is kept only when the submit actually moved (or escaped its
 conditional); a split that stays put would add noise for no overlap.
+
+**Speculative (unguarded) mode** — ``speculate=True`` — relaxes the
+last rule for read-only queries whose registry spec declares a
+speculative form: the lifted submit is emitted *without* its guard, as
+a ``speculate_query`` dispatch whose handle is simply abandoned when
+the guard turns out false.  Dropping the guard also drops the data
+dependence on the guard's inputs, so a speculative submit can climb
+past the very statements that *compute* the guard — the case the
+guarded hoist can never touch (e.g. a detail lookup conditioned on the
+first query's result).  The query multiset is deliberately no longer
+preserved: extra read-only submissions may be issued.  Every site is
+gated by a :class:`~repro.transform.costmodel.SpeculationPolicy`
+(estimated hit probability x round trip saved vs. wasted-submit cost),
+so cold or worthless speculations fall back to the guarded hoist.  The
+runtime contract for the abandoned handles lives in
+:meth:`repro.core.submission.SubmissionPipeline.speculate`.
 """
 
 from __future__ import annotations
@@ -48,7 +64,10 @@ from __future__ import annotations
 import ast
 import copy
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..transform.costmodel import SpeculationPolicy
 
 from ..analysis.ddg import conflicting_resources
 from ..ir.defuse import DefUse, analyze_expression, analyze_statement
@@ -76,18 +95,36 @@ class PrefetchSite:
     hoisted_past: int = 0
     #: True when the submit was lifted out of a conditional and re-guarded.
     guarded: bool = False
+    #: True when the submit was lifted out *unguarded* (speculative mode):
+    #: the query may be issued in executions the original never ran it.
+    speculative: bool = False
 
 
 class PrefetchInserter:
-    """AST pass inserting earliest-point ``submit_query`` calls."""
+    """AST pass inserting earliest-point ``submit_query`` calls.
+
+    ``speculate=True`` enables the unguarded lift for read-only queries
+    whose spec declares a speculative form; ``speculation`` (a
+    :class:`~repro.transform.costmodel.SpeculationPolicy`, default
+    policy when omitted) prices each site — rejected sites keep the
+    guarded hoist.
+    """
 
     def __init__(
         self,
         registry: Optional[QueryRegistry] = None,
         purity: Optional[PurityEnv] = None,
+        speculate: bool = False,
+        speculation: Optional["SpeculationPolicy"] = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.purity = purity or PurityEnv()
+        self.speculate = speculate
+        if speculate and speculation is None:
+            from ..transform.costmodel import SpeculationPolicy
+
+            speculation = SpeculationPolicy()
+        self.speculation = speculation
 
     # ------------------------------------------------------------------
     def run(self, tree: ast.AST) -> List[PrefetchSite]:
@@ -299,18 +336,48 @@ class PrefetchInserter:
         while len(node.body) > 1 and getattr(node.body[0], HOIST_ATTR, False):
             submit = node.body.pop(0)
             setattr(submit, HOIST_ATTR, False)
+            site = getattr(submit, SITE_ATTR, None)
+            speculative_name = self._speculative_name(submit)
+            if speculative_name is not None:
+                # Unguarded lift: the submit escapes the conditional as
+                # a speculative dispatch.  No guard is emitted, so the
+                # later hoist is free of the guard's data dependences.
+                submit.value.func.attr = speculative_name
+                ast.fix_missing_locations(submit)
+                if site is not None:
+                    site.speculative = True
+                    site.hoisted_past += 1  # crossed the conditional
+                lifted.append(submit)
+                continue
             guarded = ast.If(
                 test=copy.deepcopy(node.test), body=[submit], orelse=[]
             )
             ast.copy_location(guarded, node)
             ast.fix_missing_locations(guarded)
-            site = getattr(submit, SITE_ATTR, None)
             if site is not None:
                 site.guarded = True
                 site.hoisted_past += 1  # crossed the conditional boundary
                 setattr(guarded, SITE_ATTR, site)
             lifted.append(guarded)
         return lifted
+
+    def _speculative_name(self, submit: ast.stmt) -> Optional[str]:
+        """Speculative method name for a lifted submit, or None when the
+        site must stay guarded (mode off, no speculative form declared,
+        or the cost model rejects the speculation)."""
+        if not self.speculate or self.speculation is None:
+            return None
+        call = getattr(submit, "value", None)
+        if not isinstance(call, ast.Call) or not isinstance(
+            call.func, ast.Attribute
+        ):
+            return None
+        spec = self.registry.lookup_async(call.func.attr)
+        if spec is None or not spec.speculate:
+            return None
+        if not self.speculation.approves():
+            return None
+        return spec.speculate
 
     def _effect_free_test(self, test: ast.expr) -> bool:
         """Lifting duplicates the test: it must read program state only."""
@@ -353,6 +420,9 @@ def prefetch_source(
     select=None,
     cache_size: Optional[int] = None,
     cache_ttl_s: Optional[float] = None,
+    speculate: bool = False,
+    speculate_threshold: Optional[float] = None,
+    speculation: Optional["SpeculationPolicy"] = None,
 ):
     """Transform ``source`` with the full pipeline *plus* prefetch
     insertion — the companion of :func:`repro.transform.asyncify_source`.
@@ -363,8 +433,24 @@ def prefetch_source(
     hint at the top of the module so the runtime (or an operator) knows
     the recommended :class:`~repro.prefetch.cache.ResultCache`
     capacity and staleness bound.
+
+    ``speculate=True`` additionally enables the unguarded (speculative)
+    lift, gated per site by ``speculation`` (a
+    :class:`~repro.transform.costmodel.SpeculationPolicy`; a default
+    policy is built when omitted).  ``speculate_threshold`` overrides
+    the policy's minimum hit probability — the CLI's
+    ``--speculate-threshold``.
     """
     from ..transform.asyncify import asyncify_source
+
+    if speculate_threshold is not None:
+        if not speculate:
+            raise ValueError("speculate_threshold requires speculate=True")
+        if speculation is None:
+            from ..transform.costmodel import SpeculationPolicy
+
+            speculation = SpeculationPolicy()
+        speculation = speculation.with_threshold(speculate_threshold)
 
     result = asyncify_source(
         source,
@@ -375,6 +461,8 @@ def prefetch_source(
         window=window,
         select=select,
         prefetch=True,
+        speculate=speculate,
+        speculation=speculation,
     )
     hints = {}
     if cache_size is not None:

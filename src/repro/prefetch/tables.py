@@ -32,6 +32,11 @@ def tables_touched(sql: str) -> FrozenSet[str]:
     Unparseable text returns the wildcard set: the cache then treats the
     result as potentially reading anything, so any write drops it —
     always safe, never stale.
+
+    >>> sorted(tables_touched("SELECT name FROM users WHERE user_id = ?"))
+    ['users']
+    >>> sorted(tables_touched("not sql at all"))
+    ['*']
     """
     try:
         statement = parse(sql)

@@ -16,6 +16,7 @@ from .aio import (
     AioConnection,
     AioExecutor,
     AioQueryHandle,
+    AioSpeculativeHandle,
     AioWebClient,
     aio_connect,
     as_completed,
@@ -31,6 +32,7 @@ __all__ = [
     "AioConnection",
     "AioExecutor",
     "AioQueryHandle",
+    "AioSpeculativeHandle",
     "AioWebClient",
     "aio_connect",
     "as_completed",

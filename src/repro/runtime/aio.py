@@ -154,6 +154,35 @@ class AioExecutor:
         self.close()
 
 
+class AioSpeculativeHandle(AioQueryHandle):
+    """Awaitable speculative handle (asyncio face of
+    :class:`repro.core.submission.SpeculativeHandle`).
+
+    Awaiting it (directly or via ``fetch_result``) settles the
+    underlying speculation as a hit; :meth:`abandon` settles it as
+    wasted.  Dropped handles are drained when the wrapped connection
+    closes, exactly like the sync client's.
+    """
+
+    __slots__ = ("_origin",)
+
+    speculative = True
+
+    def __init__(self, future, origin, label: str = "") -> None:
+        super().__init__(future, label)
+        self._origin = origin
+
+    def __await__(self):
+        # Consuming the result is the hit signal — claim before the
+        # wait so a concurrent drain cannot misclassify it as wasted.
+        self._origin.claim()
+        return super().__await__()
+
+    def abandon(self) -> bool:
+        """Settle as wasted; do not await an abandoned handle."""
+        return self._origin.abandon()
+
+
 class AioConnection:
     """asyncio adapter over a blocking :class:`repro.client.connection.Connection`.
 
@@ -211,8 +240,27 @@ class AioConnection:
         Must be called from a running event loop (the handle's future
         belongs to it).
         """
-        loop = asyncio.get_running_loop()
+        loop = asyncio.get_running_loop()  # before any side effect
         handle = self._connection.submit_query(query, list(params))
+        return AioQueryHandle(self._wrap(handle, loop), label=handle.label)
+
+    submit_update = submit_query
+
+    def speculate_query(self, query, params: Sequence = ()) -> AioSpeculativeHandle:
+        """Speculative submit (see ``Connection.speculate_query``).
+
+        Awaiting the returned handle consumes the speculation (a hit);
+        an unawaited handle is abandoned when the connection closes.
+        Must be called from a running event loop.
+        """
+        loop = asyncio.get_running_loop()  # before any side effect
+        handle = self._connection.speculate_query(query, list(params))
+        return AioSpeculativeHandle(
+            self._wrap(handle, loop), handle, label=handle.label
+        )
+
+    def _wrap(self, handle, loop) -> "asyncio.Future[Any]":
+        """Bridge a pipeline handle's future onto the running loop."""
         inner = handle.future
         if inner.done() and not inner.cancelled():
             # Cache hit (or failed resolve): materialize the result into
@@ -228,9 +276,7 @@ class AioConnection:
             future = asyncio.wrap_future(inner, loop=loop)
         self.stats.submitted += 1
         future.add_done_callback(_book_keep(self.stats))
-        return AioQueryHandle(future, label=handle.label)
-
-    submit_update = submit_query
+        return future
 
     async def fetch_result(self, handle: AioQueryHandle):
         """The paper's ``fetchResult``: await one handle."""

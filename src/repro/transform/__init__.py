@@ -10,9 +10,14 @@ pass — orchestrated by :class:`TransformEngine` and fronted by
 from .asyncify import asyncify, asyncify_source
 from .costmodel import (
     LoopCostEstimate,
+    SpeculationEstimate,
+    SpeculationPolicy,
+    breakeven_hit_probability,
     breakeven_iterations,
     estimate_loop_cost,
+    estimate_speculation,
     recommend_threads,
+    should_speculate,
     should_transform,
 )
 from .engine import LoopReport, QueryOutcome, TransformEngine, TransformResult
@@ -42,9 +47,14 @@ __all__ = [
     "asyncify_source",
     "prefetch_source",
     "LoopCostEstimate",
+    "SpeculationEstimate",
+    "SpeculationPolicy",
+    "breakeven_hit_probability",
     "breakeven_iterations",
     "estimate_loop_cost",
+    "estimate_speculation",
     "recommend_threads",
+    "should_speculate",
     "should_transform",
     "LoopReport",
     "QueryOutcome",

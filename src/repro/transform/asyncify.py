@@ -23,6 +23,8 @@ def asyncify_source(
     window: Optional[int] = None,
     select=None,
     prefetch: bool = False,
+    speculate: bool = False,
+    speculation=None,
 ) -> TransformResult:
     """Transform module source text; returns the rewritten source plus a
     per-loop report (see :class:`~repro.transform.engine.TransformResult`)."""
@@ -34,6 +36,8 @@ def asyncify_source(
         window=window,
         select=select,
         prefetch=prefetch,
+        speculate=speculate,
+        speculation=speculation,
     )
     return engine.transform_source(source)
 
@@ -47,6 +51,8 @@ def asyncify(
     readable: bool = True,
     window: Optional[int] = None,
     prefetch: bool = False,
+    speculate: bool = False,
+    speculation=None,
 ):
     """Decorator / wrapper that rewrites a function for asynchronous
     query submission::
@@ -89,6 +95,8 @@ def asyncify(
             readable=readable,
             window=window,
             prefetch=prefetch,
+            speculate=speculate,
+            speculation=speculation,
         )
         result = engine.transform_source(ast.unparse(tree))
         namespace = dict(target.__globals__)

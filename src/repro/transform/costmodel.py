@@ -13,14 +13,27 @@ latency model.  The estimates deliberately mirror the mechanics of the
 runtime (spawn cost once, per-iteration submit overhead, round trips
 overlapped up to the effective parallelism), so the predictions line up
 with the measured Figure 8/9 curves — the benchmark suite checks this.
+
+It also prices **speculative prefetch** (the unguarded mode of
+:mod:`repro.prefetch.insertion`): issuing a read whose consuming guard
+is still unknown hides one round trip when the guard turns out true and
+wastes one submit when it turns out false.  The expected benefit is
+
+    P(hit) * saved  -  (1 - P(hit)) * wasted
+
+where ``saved`` is the hidden latency (round trip + server time) and
+``wasted`` is the submit overhead plus, under load, the round trip an
+executor worker spends on the useless request instead of real work.
+:class:`SpeculationPolicy` packages the decision for the insertion
+pass and the CLI's ``--speculate`` / ``--speculate-threshold`` knobs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-from ..db.latency import LatencyProfile
+from ..db.latency import SYS1, LatencyProfile
 
 
 @dataclass(frozen=True)
@@ -94,6 +107,10 @@ def breakeven_iterations(
 
     Returns None when no count up to ``limit`` is beneficial (e.g. a
     zero-latency profile, where async submission is pure overhead).
+
+    >>> from repro.db.latency import INSTANT
+    >>> breakeven_iterations(INSTANT, limit=1024) is None
+    True
     """
     low, high = 1, 1
     while high <= limit:
@@ -153,3 +170,157 @@ def should_transform(
     return estimate_loop_cost(
         profile, iterations, threads, server_time_s, client_work_s
     ).beneficial
+
+
+# ----------------------------------------------------------------------
+# speculative prefetch (the unguarded mode of repro.prefetch.insertion)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeculationEstimate:
+    """Predicted economics of one speculative submission.
+
+    ``hit_probability`` is the estimated chance the guarded path runs
+    (and the speculated result is consumed); ``saved_s`` the latency
+    hidden on a hit; ``wasted_s`` the cost paid on a miss.
+    """
+
+    hit_probability: float
+    saved_s: float
+    wasted_s: float
+
+    @property
+    def expected_benefit_s(self) -> float:
+        return (
+            self.hit_probability * self.saved_s
+            - (1.0 - self.hit_probability) * self.wasted_s
+        )
+
+    @property
+    def beneficial(self) -> bool:
+        return self.expected_benefit_s > 0
+
+
+def estimate_speculation(
+    profile: LatencyProfile,
+    hit_probability: float,
+    server_time_s: float = 0.0,
+    load: float = 0.0,
+) -> SpeculationEstimate:
+    """First-order prediction for one speculative submit.
+
+    A hit hides one full round trip plus the server-side execution time
+    behind the work preceding the guard.  A miss pays the submit
+    overhead in the application thread and — weighted by ``load``, the
+    fraction of the time executor workers have real work queued — the
+    round trip one worker burns on the useless request.  ``load=0``
+    models idle workers (a wasted request costs almost nothing beyond
+    the submit); ``load=1`` models a saturated pool.
+    """
+    if not 0.0 <= hit_probability <= 1.0:
+        raise ValueError(
+            f"hit_probability must be within [0, 1], got {hit_probability}"
+        )
+    if not 0.0 <= load <= 1.0:
+        raise ValueError(f"load must be within [0, 1], got {load}")
+    per_query = profile.network_rtt_s + server_time_s
+    saved = per_query
+    wasted = profile.send_overhead_s + load * per_query
+    return SpeculationEstimate(hit_probability, saved, wasted)
+
+
+def breakeven_hit_probability(
+    profile: LatencyProfile,
+    server_time_s: float = 0.0,
+    load: float = 0.0,
+) -> float:
+    """Smallest hit probability at which speculation pays for itself.
+
+    Closed form of ``expected_benefit_s == 0``:
+    ``wasted / (saved + wasted)``.  Returns 1.0 on a zero-latency
+    profile (nothing can be saved, so no probability short of certainty
+    — and not even that — justifies the extra submit).
+    """
+    estimate = estimate_speculation(profile, 1.0, server_time_s, load)
+    total = estimate.saved_s + estimate.wasted_s
+    if estimate.saved_s <= 0 or total <= 0:
+        return 1.0
+    return estimate.wasted_s / total
+
+
+def should_speculate(
+    profile: LatencyProfile,
+    hit_probability: float,
+    threshold: float = 0.0,
+    server_time_s: float = 0.0,
+    load: float = 0.0,
+) -> bool:
+    """Speculate this site?  The breakeven decision procedure.
+
+    True when the estimated ``hit_probability`` clears both the
+    operator's ``threshold`` (a minimum hit probability; the CLI's
+    ``--speculate-threshold``) and the profile's breakeven point, and
+    the expected benefit is strictly positive.  A zero-latency profile
+    therefore never speculates: the submit is pure overhead.
+
+    >>> from repro.db.latency import INSTANT, SYS1
+    >>> should_speculate(SYS1, 0.9)
+    True
+    >>> should_speculate(SYS1, 0.9, threshold=0.95)
+    False
+    >>> should_speculate(INSTANT, 0.9)
+    False
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be within [0, 1], got {threshold}")
+    if hit_probability < threshold:
+        return False
+    return estimate_speculation(
+        profile, hit_probability, server_time_s, load
+    ).beneficial
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """The insertion pass's per-site speculation gate.
+
+    Bundles the latency profile with the statically assumed hit
+    probability (how often the consuming guard is expected to be true)
+    and the operator threshold.  The pass asks :meth:`approves` for
+    every liftable site; sites it rejects fall back to the guarded
+    hoist, so a conservative policy only costs overlap, never
+    correctness.
+    """
+
+    profile: LatencyProfile = SYS1
+    hit_probability: float = 0.5
+    threshold: float = 0.0
+    server_time_s: float = 0.0
+    load: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so a bad CLI value fails at parse time, not
+        # at the first liftable site.
+        estimate_speculation(
+            self.profile, self.hit_probability, self.server_time_s, self.load
+        )
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be within [0, 1], got {self.threshold}"
+            )
+
+    def with_threshold(self, threshold: float) -> "SpeculationPolicy":
+        return replace(self, threshold=threshold)
+
+    def approves(self, hit_probability: Optional[float] = None) -> bool:
+        probability = (
+            self.hit_probability if hit_probability is None else hit_probability
+        )
+        return should_speculate(
+            self.profile,
+            probability,
+            threshold=self.threshold,
+            server_time_s=self.server_time_s,
+            load=self.load,
+        )

@@ -118,9 +118,14 @@ class TransformResult:
                 detail = outcome.reason and f" [{outcome.reason}]" or ""
                 lines.append(f"    {outcome.status}: {outcome.label}{detail}")
         for site in self.prefetch_sites:
-            guarded = " (guarded)" if getattr(site, "guarded", False) else ""
+            if getattr(site, "speculative", False):
+                mode = " (speculative)"
+            elif getattr(site, "guarded", False):
+                mode = " (guarded)"
+            else:
+                mode = ""
             lines.append(
-                f"  prefetch {site.function}:{site.lineno}{guarded} "
+                f"  prefetch {site.function}:{site.lineno}{mode} "
                 f"hoisted past {site.hoisted_past}: {site.label}"
             )
         return "\n".join(lines)
@@ -138,6 +143,8 @@ class TransformEngine:
         window: Optional[int] = None,
         select: Optional[Callable[[str, str], bool]] = None,
         prefetch: bool = False,
+        speculate: bool = False,
+        speculation=None,
     ) -> None:
         """``select(function_name, statement_text) -> bool`` restricts
         which query statements are made asynchronous — the paper's
@@ -149,6 +156,9 @@ class TransformEngine:
         (:mod:`repro.prefetch.insertion`) after loop fission: remaining
         straight-line query statements are split into submit/fetch and
         the submits hoisted to their earliest safe program point.
+        ``speculate=True`` (with ``prefetch``) enables that pass's
+        unguarded lift, gated by ``speculation`` — a
+        :class:`~repro.transform.costmodel.SpeculationPolicy`.
         """
         self.registry = registry or default_registry()
         self.purity = purity or PurityEnv()
@@ -157,6 +167,8 @@ class TransformEngine:
         self.window = window
         self.select = select
         self.prefetch = prefetch
+        self.speculate = speculate
+        self.speculation = speculation
 
     # ------------------------------------------------------------------
     # entry points
@@ -177,7 +189,12 @@ class TransformEngine:
             # Imported here: repro.prefetch depends on this module.
             from ..prefetch.insertion import PrefetchInserter
 
-            inserter = PrefetchInserter(self.registry, self.purity)
+            inserter = PrefetchInserter(
+                self.registry,
+                self.purity,
+                speculate=self.speculate,
+                speculation=self.speculation,
+            )
             prefetch_sites = inserter.run(tree)
         ast.fix_missing_locations(tree)
         elapsed = time.perf_counter() - started

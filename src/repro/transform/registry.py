@@ -39,17 +39,29 @@ DEFAULT_BARRIERS = ("begin", "commit", "rollback", "transaction")
 
 @dataclass(frozen=True)
 class QuerySpec:
-    """One blocking call and its asynchronous counterparts."""
+    """One blocking call and its asynchronous counterparts.
+
+    ``speculate`` names the *speculative* submit method (a dispatch
+    whose handle may be abandoned; see
+    :meth:`repro.core.submission.SubmissionPipeline.speculate`).  An
+    empty string means the call has no speculative form — the prefetch
+    pass then never emits an unguarded hoist for it.
+    """
 
     blocking: str
     submit: str
     fetch: str
     resource: str = "db"
     effect: str = "read"
+    speculate: str = ""
 
     def __post_init__(self) -> None:
         if self.effect not in VALID_EFFECTS:
             raise ValueError(f"invalid effect {self.effect!r}")
+        if self.speculate and self.effect != "read":
+            raise ValueError(
+                "only read-effect calls may declare a speculative form"
+            )
 
 
 class QueryRegistry:
@@ -67,8 +79,21 @@ class QueryRegistry:
             self.register(spec)
 
     def register(self, spec: QuerySpec) -> None:
+        # Re-registration (with_effect and friends) must not leave the
+        # old spec reachable through async names the new spec dropped
+        # or renamed — e.g. a speculate alias surviving a read->write
+        # override would still analyze as a read.
+        old = self._by_blocking.get(spec.blocking)
+        if old is not None:
+            for name in (old.submit, old.speculate):
+                if name and self._by_submit.get(name) is old:
+                    del self._by_submit[name]
         self._by_blocking[spec.blocking] = spec
         self._by_submit[spec.submit] = spec
+        if spec.speculate:
+            # A speculative submit is analyzed exactly like a plain one:
+            # the external read happens at submission time.
+            self._by_submit[spec.speculate] = spec
 
     def register_barrier(self, method_name: str) -> None:
         """Mark ``method_name`` as a transaction-scope barrier call."""
@@ -104,7 +129,10 @@ class QueryRegistry:
         spec = clone._by_blocking.get(blocking_name)
         if spec is None:
             raise KeyError(f"no registered call named {blocking_name!r}")
-        clone.register(replace(spec, effect=effect))
+        # A non-read call cannot keep a speculative form (speculation is
+        # read-only by construction).
+        speculate = spec.speculate if effect == "read" else ""
+        clone.register(replace(spec, effect=effect, speculate=speculate))
         return clone
 
 
@@ -113,7 +141,8 @@ def default_registry() -> QueryRegistry:
     return QueryRegistry(
         [
             QuerySpec("execute_query", "submit_query", "fetch_result",
-                      resource="db", effect="read"),
+                      resource="db", effect="read",
+                      speculate="speculate_query"),
             QuerySpec("execute_update", "submit_update", "fetch_result",
                       resource="db", effect="write"),
             QuerySpec("call", "submit_call", "fetch_result",

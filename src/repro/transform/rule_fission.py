@@ -21,6 +21,24 @@ exactly the paper's record-table construction (records are plain dicts
 for readability; :mod:`repro.runtime.records` offers the class-based
 equivalent for hand-written code).
 
+A split variable whose submit-side writes are *all* guarded needs care:
+restoring only "when the guard fired" would leave the fetch iterations
+*before the first firing write* reading whatever value the completed
+submit loop left behind, not the value those iterations actually
+observed.  When every fetch-side read of the variable is itself guarded
+by (at least) each writer's guard conjunction — the shape Rule B's
+nested-guard flattening produces — the presence-based restore is sound:
+a read only executes in iterations whose record carries the value.
+Otherwise the variable is captured unconditionally at the end of the
+submit half (its value there is exactly the read-point value, since
+only the submit side writes it — fission refuses when the fetch side
+writes it too).  The capture is wrapped in a ``NameError`` guard so a
+variable that is still unbound in early iterations does not fault at
+capture time; the restore's else-branch *unbinds* the variable in
+those iterations, so a fetch-side read executes against exactly the
+binding state the original iteration had — including faulting with
+``UnboundLocalError`` where the original did.
+
 The same machinery with ``query=None`` splits a loop at an arbitrary
 boundary, which is how nested-loop fission (paper Example 5) splits the
 outer loop between the inner submit and fetch loops.
@@ -211,17 +229,37 @@ def fission(
         ss1 = body[: split_index + 1]
         ss2 = body[split_index + 1 :]
 
+    guarded_vars = _guarded_only_vars(header, ss1, ss2, split_vars)
+
     # ---------------- submit loop ----------------
     loop1_body: List[ast.stmt] = [empty_dict_assign(record_var)]
     for var in sorted(split_vars & header.writes):
         loop1_body.append(subscript_store(record_var, var, name_load(var)))
     for stmt in ss1:
         loop1_body.append(emit_stmt(stmt))
-        written = sorted(stmt.writes & split_vars)
+        written = sorted(stmt.writes & split_vars - guarded_vars)
         for var in written:
             spill = subscript_store(record_var, var, name_load(var))
             test = guard_test(stmt.guards)
             loop1_body.append(if_stmt(test, [spill]) if test is not None else spill)
+    for var in sorted(guarded_vars):
+        # Conditionally-written split variable with an uncovered fetch-
+        # side read: capture the value every iteration (see the module
+        # docstring) — when no guard fired yet, that is the pre-loop
+        # value the fetch iteration must see.
+        spill = subscript_store(record_var, var, name_load(var))
+        loop1_body.append(
+            ast.Try(
+                body=[spill],
+                handlers=[
+                    ast.ExceptHandler(
+                        type=name_load("NameError"), name=None, body=[ast.Pass()]
+                    )
+                ],
+                orelse=[],
+                finalbody=[],
+            )
+        )
     if query is not None:
         loop1_body.append(_submit_stmt(query, record_var, handle_key))
     loop1_body.append(append_call(table_var, record_var))
@@ -232,13 +270,37 @@ def fission(
     # ---------------- fetch loop ----------------
     loop2_body: List[ast.stmt] = []
     for var in sorted(split_vars):
-        loop2_body.append(
-            if_stmt(
-                key_in_record(var, fetch_record_var),
-                [ast.Assign(targets=[name_store(var)],
-                            value=subscript_load(fetch_record_var, var))],
-            )
+        restore = if_stmt(
+            key_in_record(var, fetch_record_var),
+            [ast.Assign(targets=[name_store(var)],
+                        value=subscript_load(fetch_record_var, var))],
         )
+        if var in guarded_vars:
+            # A missing key means the variable was unbound at this point
+            # of the original iteration (the capture hit NameError):
+            # unbind it so a fetch-side read faults exactly as the
+            # original did, instead of silently reading a later
+            # iteration's value.
+            restore.orelse = [
+                ast.Try(
+                    body=[
+                        ast.Delete(
+                            targets=[ast.Name(id=var, ctx=ast.Del())]
+                        )
+                    ],
+                    handlers=[
+                        ast.ExceptHandler(
+                            type=name_load("NameError"),
+                            name=None,
+                            body=[ast.Pass()],
+                        )
+                    ],
+                    orelse=[],
+                    finalbody=[],
+                )
+            ]
+            ast.fix_missing_locations(restore)
+        loop2_body.append(restore)
     if query is not None:
         loop2_body.append(_fetch_stmt(query, fetch_record_var, handle_key))
     if readable:
@@ -274,6 +336,53 @@ def fission(
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+
+
+def _guarded_only_vars(
+    header: Stmt,
+    ss1: Sequence[Stmt],
+    ss2: Sequence[Stmt],
+    split_vars: Set[str],
+) -> Set[str]:
+    """Split variables needing the unconditional end-of-submit capture.
+
+    A variable qualifies when every submit-side write is guarded *and*
+    some fetch-side read is not covered by the writers' guards: the
+    presence-based restore would then leave iterations before the first
+    firing write reading the submit loop's final value.  A read is
+    covered when its own guard set contains each writer's guards (as
+    ``(var, value)`` pairs) — Rule B emits guard conjunctions
+    outermost-first, so the covering prefix short-circuits the read in
+    exactly the iterations whose record lacks the value.
+
+    The capture reconstructs the read-point value only while the submit
+    side is the sole writer, so a fetch-side write of the same variable
+    makes fission refuse.
+    """
+    guarded: Set[str] = set()
+    for var in split_vars:
+        if var in header.writes:
+            continue  # spilled unconditionally at the top of the body
+        writers = [stmt for stmt in ss1 if var in stmt.writes]
+        if not writers or not all(stmt.guards for stmt in writers):
+            continue
+        readers = [stmt for stmt in ss2 if var in stmt.reads]
+        if all(
+            set(writer.guards) <= set(reader.guards)
+            for writer in writers
+            for reader in readers
+        ):
+            continue
+        guarded.add(var)
+    for var in sorted(guarded):
+        if any(var in stmt.writes for stmt in ss2):
+            raise LoopNotTransformable(
+                REASON_PRECONDITION,
+                f"split variable {var!r} is written conditionally on the "
+                "submit side and written again on the fetch side; its "
+                "per-iteration value cannot be reconstructed",
+            )
+    return guarded
 
 
 def _check_spillable(

@@ -128,6 +128,14 @@ class FakeConnection:
     def submit_update(self, query: Any, params: Sequence = ()) -> QueryHandle:
         return self._submit("update", query, tuple(params))
 
+    def speculate_query(self, query: Any, params: Sequence = ()) -> QueryHandle:
+        # Logged as a plain query: a speculation is the same external
+        # read, just possibly extra — tests compare multiset inclusion.
+        return self.submit_query(query, params)
+
+    def abandon(self, handle: QueryHandle) -> bool:
+        return handle.cancel()
+
     def _submit(self, kind: str, query: Any, params: Tuple) -> QueryHandle:
         if self._pool is None:
             try:
@@ -161,6 +169,8 @@ def run_both(
     window: Optional[int] = None,
     threaded: bool = False,
     prefetch: bool = False,
+    speculate: bool = False,
+    speculation=None,
 ):
     """Compile+run the original and transformed versions of ``source``.
 
@@ -177,7 +187,13 @@ def run_both(
     original = namespace_orig[func_name]
 
     result = asyncify_source(
-        source, registry=registry, purity=purity, window=window, prefetch=prefetch
+        source,
+        registry=registry,
+        purity=purity,
+        window=window,
+        prefetch=prefetch,
+        speculate=speculate,
+        speculation=speculation,
     )
     namespace_new: dict = {}
     exec(compile(result.source, "<transformed>", "exec"), namespace_new)

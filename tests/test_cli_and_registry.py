@@ -164,3 +164,106 @@ class TestCliFlags:
         proc = run_cli([str(tmp_path / "missing.py")])
         assert proc.returncode == 2
         assert "cannot read" in proc.stderr
+
+
+class TestSpeculativeRegistry:
+    def test_default_registry_declares_speculative_read(self):
+        registry = default_registry()
+        assert registry.lookup("execute_query").speculate == "speculate_query"
+        assert registry.lookup("execute_update").speculate == ""
+        assert registry.lookup("call").speculate == ""
+
+    def test_speculative_name_resolves_as_async_read(self):
+        """The generated speculate_query call must analyze exactly like
+        a submit: an external read at submission time."""
+        registry = default_registry()
+        spec = registry.lookup_async("speculate_query")
+        assert spec is not None
+        assert spec.blocking == "execute_query"
+        assert spec.effect == "read"
+
+    def test_non_read_spec_cannot_declare_speculation(self):
+        with pytest.raises(ValueError):
+            QuerySpec("execute_update", "submit_update", "fetch_result",
+                      effect="write", speculate="speculate_update")
+
+    def test_with_effect_drops_speculation_on_non_read(self):
+        registry = default_registry()
+        downgraded = registry.with_effect("execute_query", "write")
+        assert downgraded.lookup("execute_query").speculate == ""
+        # and the read form keeps it
+        assert registry.lookup("execute_query").speculate == "speculate_query"
+
+    def test_reregistration_drops_stale_async_aliases(self):
+        """A read->write override must not leave speculate_query (or a
+        renamed submit) resolving to the stale read-effect spec."""
+        registry = default_registry()
+        downgraded = registry.with_effect("execute_query", "write")
+        assert downgraded.lookup_async("speculate_query") is None
+        assert downgraded.lookup_async("submit_query").effect == "write"
+        # the original registry is untouched
+        assert registry.lookup_async("speculate_query").effect == "read"
+
+
+SPECULATIVE_SAMPLE = '''
+def load(conn, key):
+    base = conn.execute_query("q", [key])
+    total = base.scalar()
+    if total > 3:
+        extra = conn.execute_query("d", [key])
+        total = total + extra.scalar()
+    return total
+'''
+
+
+class TestSpeculateCliFlags:
+    def test_speculate_emits_speculative_dispatch(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        guarded = run_cli([str(path), "--prefetch"])
+        speculative = run_cli([str(path), "--prefetch", "--speculate"])
+        assert "speculate_query" not in guarded.stdout  # off by default
+        assert "speculate_query" in speculative.stdout
+
+    def test_speculate_report_marks_sites(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--speculate", "--report"])
+        assert proc.returncode == 0
+        assert "(speculative)" in proc.stderr
+
+    def test_speculate_requires_prefetch(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        proc = run_cli([str(path), "--speculate"])
+        assert proc.returncode == 2
+        assert "--speculate requires --prefetch" in proc.stderr
+
+    def test_threshold_requires_speculate(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--speculate-threshold", "0.5"])
+        assert proc.returncode == 2
+        assert "--speculate-threshold requires --speculate" in proc.stderr
+
+    def test_threshold_must_be_a_probability(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        for bad in ("1.5", "-0.1"):
+            proc = run_cli(
+                [str(path), "--prefetch", "--speculate",
+                 "--speculate-threshold", bad]
+            )
+            assert proc.returncode == 2
+            assert "within [0, 1]" in proc.stderr
+
+    def test_unclearable_threshold_falls_back_to_guarded(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SPECULATIVE_SAMPLE)
+        proc = run_cli(
+            [str(path), "--prefetch", "--speculate",
+             "--speculate-threshold", "0.95"]
+        )
+        assert proc.returncode == 0
+        assert "speculate_query" not in proc.stdout
+        assert "submit_query" in proc.stdout

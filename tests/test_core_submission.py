@@ -360,3 +360,257 @@ class TestSingleModuleCacheLookup:
             source = inspect.getsource(module)
             assert ".acquire(" not in source
             assert "is_hit" not in source
+
+
+class TestSpeculativeDispatch:
+    """ISSUE 4 acceptance: speculative handles are tagged, every
+    speculation settles as exactly one hit or waste, and a cancelled or
+    abandoned speculation never publishes a stale or failed result."""
+
+    def test_handle_is_tagged_and_fetch_settles_a_hit(self, users_db):
+        conn = users_db.connect()
+        handle = conn.speculate_query(READ_USER, [7])
+        assert getattr(handle, "speculative", False) is True
+        assert conn.fetch_result(handle).scalar() == 2
+        stats = conn.stats
+        assert stats.speculations == 1
+        assert stats.speculation_hits == 1
+        assert stats.speculation_wasted == 0
+        conn.close()
+        # close drains nothing: the handle was already settled
+        assert stats.speculation_wasted == 0
+
+    def test_plain_submit_is_not_speculative(self, users_db):
+        conn = users_db.connect()
+        handle = conn.submit_query(READ_USER, [7])
+        assert not getattr(handle, "speculative", False)
+        conn.fetch_result(handle)
+        assert conn.stats.speculations == 0
+        conn.close()
+
+    def test_abandon_settles_wasted_and_is_idempotent(self, users_db):
+        conn = users_db.connect()
+        handle = conn.speculate_query(READ_USER, [3])
+        assert handle.abandon() is True
+        assert handle.abandon() is False
+        assert conn.abandon(handle) is False
+        stats = conn.stats
+        assert (stats.speculation_hits, stats.speculation_wasted) == (0, 1)
+        conn.close()
+        assert stats.speculation_wasted == 1  # not double-counted by drain
+
+    def test_close_drains_dropped_handles(self, users_db):
+        conn = users_db.connect()
+        conn.speculate_query(READ_USER, [1])
+        conn.speculate_query(READ_USER, [2])
+        kept = conn.speculate_query(READ_USER, [3])
+        conn.fetch_result(kept)
+        stats = conn.stats
+        conn.close()
+        assert stats.speculations == 3
+        assert stats.speculation_hits == 1
+        assert stats.speculation_wasted == 2
+        assert stats.speculation_hits + stats.speculation_wasted == stats.speculations
+
+    def test_speculating_a_write_is_refused(self, users_db):
+        from repro.db import DatabaseError
+
+        conn = users_db.connect()
+        with pytest.raises(DatabaseError):
+            conn.speculate_query(WRITE_USER, [9, 1])
+        conn.close()
+
+    def test_unresolvable_speculation_surfaces_at_fetch(self, users_db):
+        conn = users_db.connect()
+        handle = conn.speculate_query("SELECT nope FROM users WHERE user_id = ?", [1])
+        with pytest.raises(Exception):
+            conn.fetch_result(handle)
+        conn.close()
+
+    def test_failed_speculation_never_poisons_the_cache(self, users_db):
+        cache = ResultCache(capacity=16)
+        conn = users_db.connect(result_cache=cache)
+        bad = "SELECT nope FROM users WHERE user_id = ?"
+        handle = conn.speculate_query(bad, [1])
+        with pytest.raises(Exception):
+            conn.fetch_result(handle)
+        assert (bad, (1,)) not in cache
+        assert len(cache) == 0
+        # the same read through the normal path still fails cleanly
+        with pytest.raises(Exception):
+            conn.execute_query(bad, [1])
+        conn.close()
+
+    def test_speculation_fill_serves_a_later_real_read(self, users_db):
+        cache = ResultCache(capacity=16)
+        conn = users_db.connect(result_cache=cache)
+        handle = conn.speculate_query(READ_USER, [4])
+        assert conn.fetch_result(handle).scalar() == 4
+        assert (READ_USER, (4,)) in cache
+        before = conn.stats.cache_hits
+        assert conn.execute_query(READ_USER, [4]).scalar() == 4
+        assert conn.stats.cache_hits == before + 1
+        conn.close()
+
+    def test_speculation_inside_txn_bypasses_cache_and_drains(self, users_db):
+        """An uncommitted value can never be published: transactional
+        reads bypass the cache entirely, speculative or not."""
+        cache = ResultCache(capacity=16)
+        conn = users_db.connect(result_cache=cache)
+        conn.begin()
+        handle = conn.speculate_query(READ_USER, [5])
+        assert conn.fetch_result(handle).scalar() == 0
+        assert (READ_USER, (5,)) not in cache
+        assert len(cache) == 0
+        conn.commit()
+        conn.close()
+        assert conn.stats.speculation_hits == 1
+
+    def test_aio_await_settles_a_hit_and_close_drains_the_rest(self, users_db):
+        async def main():
+            aconn = aio_connect(users_db, max_in_flight=4)
+            handle = aconn.speculate_query(READ_USER, [6])
+            assert getattr(handle, "speculative", False) is True
+            value = await handle
+            assert value.scalar() == 1
+            aconn.speculate_query(READ_USER, [7])  # dropped
+            stats = aconn.pipeline.stats
+            aconn.close()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats.speculations == 2
+        assert stats.speculation_hits == 1
+        assert stats.speculation_wasted == 1
+
+    def test_aio_abandon_settles_wasted(self, users_db):
+        async def main():
+            aconn = aio_connect(users_db, max_in_flight=4)
+            handle = aconn.speculate_query(READ_USER, [8])
+            assert handle.abandon() is True
+            assert handle.abandon() is False
+            stats = aconn.pipeline.stats
+            aconn.close()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats.speculation_wasted == 1
+
+
+class TestSpeculationCacheProtocol:
+    """CallPipeline-level timing tests: in-flight speculations vs.
+    writes, cancellation, and single-flight with real reads."""
+
+    def _pipeline(self, cache=None, workers=2):
+        from repro.core.submission import CallPipeline
+        from repro.runtime.executor import AsyncExecutor
+
+        return CallPipeline(AsyncExecutor(workers, name="spec-test"), cache)
+
+    def test_write_landing_mid_flight_spoils_retention(self):
+        import threading
+
+        cache = ResultCache(capacity=8)
+        pipeline = self._pipeline(cache)
+        started, release = threading.Event(), threading.Event()
+
+        def invoke():
+            started.set()
+            release.wait(timeout=5)
+            return "value"
+
+        handle = pipeline.speculate(invoke, key="k", tables=["t"])
+        assert started.wait(timeout=5)
+        cache.invalidate_table("t")  # the write lands mid-flight
+        release.set()
+        # The waiter is served the (now possibly stale) value...
+        assert pipeline.fetch(handle) == "value"
+        # ...but nothing stale was retained for later readers.
+        assert "k" not in cache
+        pipeline.executor.close()
+
+    def test_abandoned_queued_speculation_is_cancelled_outright(self):
+        import threading
+
+        pipeline = self._pipeline(cache=None, workers=1)
+        block, ran = threading.Event(), []
+
+        first = pipeline.speculate(lambda: block.wait(timeout=5))
+        queued = pipeline.speculate(lambda: ran.append(1))
+        assert queued.cancellable
+        assert queued.abandon() is True
+        block.set()
+        first.result()
+        pipeline.drain_speculations()
+        pipeline.executor.close()
+        assert ran == []  # the cancelled dispatch never executed
+        assert pipeline.stats.speculation_wasted == 2
+
+    def test_abandon_never_cancels_a_leased_speculation(self):
+        """A real read may have joined the speculation's single flight:
+        abandoning must let the execution finish and serve it."""
+        import threading
+
+        cache = ResultCache(capacity=8)
+        pipeline = self._pipeline(cache)
+        started, release = threading.Event(), threading.Event()
+
+        def invoke():
+            started.set()
+            release.wait(timeout=5)
+            return "shared"
+
+        speculation = pipeline.speculate(invoke, key="k", tables=["t"])
+        assert not speculation.cancellable
+        assert started.wait(timeout=5)
+        follower = pipeline.dispatch(
+            lambda: pytest.fail("follower must join, not re-execute"),
+            key="k",
+            tables=["t"],
+        )
+        speculation.abandon()  # guard turned out false...
+        release.set()
+        # ...yet the real read is served by the same in-flight execution.
+        assert follower.result(timeout=5) == "shared"
+        assert pipeline.stats.cache_hits == 1
+        pipeline.executor.close()
+
+    def test_drain_waits_out_in_flight_speculations(self):
+        import threading
+
+        pipeline = self._pipeline()
+        release = threading.Event()
+        done = []
+
+        def invoke():
+            release.wait(timeout=5)
+            done.append(1)
+            return "late"
+
+        pipeline.speculate(invoke)
+        release.set()
+        drained = pipeline.drain_speculations(wait=True)
+        assert drained == 1
+        assert done == [1]  # the dispatch ran to completion, no leak
+        pipeline.executor.close()
+
+    def test_ledger_high_water_sweep_bounds_unsettled_handles(self):
+        """A long-lived connection dropping guard-false handles must not
+        grow the speculation ledger without bound: past the high-water
+        mark, completed-but-unclaimed handles settle as wasted."""
+        pipeline = self._pipeline(workers=2)
+        pipeline.SPECULATION_HIGH_WATER = 8
+        handles = [pipeline.speculate(lambda: "v") for _ in range(40)]
+        for handle in handles:
+            handle.result()  # all completed, none claimed
+        pipeline.speculate(lambda: "v").result()
+        with pipeline._spec_lock:
+            unsettled = len(pipeline._speculations)
+        assert unsettled <= pipeline.SPECULATION_HIGH_WATER + 1
+        assert pipeline.stats.speculation_wasted >= 30
+        # a late fetch of a swept handle still returns its result
+        assert pipeline.fetch(handles[0]) == "v"
+        pipeline.drain_speculations()
+        pipeline.executor.close()
+        stats = pipeline.stats
+        assert stats.speculation_hits + stats.speculation_wasted == stats.speculations

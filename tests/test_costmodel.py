@@ -2,12 +2,16 @@
 
 import pytest
 
-from repro.db.latency import INSTANT, SYS1
+from repro.db.latency import INSTANT, POSTGRES, SYS1
 from repro.transform.costmodel import (
     LoopCostEstimate,
+    SpeculationPolicy,
+    breakeven_hit_probability,
     breakeven_iterations,
     estimate_loop_cost,
+    estimate_speculation,
     recommend_threads,
+    should_speculate,
     should_transform,
 )
 
@@ -89,6 +93,113 @@ class TestRecommendThreads:
         ]
         assert times[0] > times[2] > times[3]
         assert abs(times[4] - times[5]) / times[4] < 0.5
+
+
+class TestBreakevenEdges:
+    def test_zero_iteration_loop_has_zero_cost_both_ways(self):
+        estimate = estimate_loop_cost(SYS1, 0, threads=1)
+        assert estimate.blocking_s == 0.0
+        assert estimate.async_s == 0.0
+        assert not estimate.beneficial
+        assert not should_transform(SYS1, 0)
+
+    def test_zero_iteration_loop_is_below_every_breakeven(self):
+        for profile in (SYS1, POSTGRES):
+            point = breakeven_iterations(profile)
+            assert point is not None and point > 0
+
+    def test_zero_latency_profile_breakeven_is_none_at_any_threads(self):
+        for threads in (1, 10, 50):
+            assert breakeven_iterations(INSTANT, threads=threads, limit=4096) is None
+
+    def test_single_thread_still_has_a_breakeven_or_none(self):
+        # One worker still overlaps client work with the round trip.
+        point = breakeven_iterations(SYS1, threads=1)
+        assert point is None or point >= 1
+
+
+class TestSpeculation:
+    def test_expected_benefit_formula(self):
+        estimate = estimate_speculation(SYS1, 0.5)
+        expected = 0.5 * estimate.saved_s - 0.5 * estimate.wasted_s
+        assert estimate.expected_benefit_s == pytest.approx(expected)
+
+    def test_high_probability_speculation_pays_on_sys1(self):
+        assert should_speculate(SYS1, 0.9)
+        assert estimate_speculation(SYS1, 0.9).beneficial
+
+    def test_zero_probability_never_pays(self):
+        assert not should_speculate(SYS1, 0.0)
+        assert estimate_speculation(SYS1, 0.0).expected_benefit_s <= 0
+
+    def test_zero_latency_profile_never_speculates(self):
+        """Nothing to hide on INSTANT: the submit is pure overhead."""
+        assert breakeven_hit_probability(INSTANT) == 1.0
+        for probability in (0.0, 0.5, 1.0):
+            assert not should_speculate(INSTANT, probability)
+
+    def test_breakeven_probability_is_the_zero_crossing(self):
+        point = breakeven_hit_probability(SYS1)
+        assert 0.0 < point < 1.0
+        eps = 1e-6
+        assert not estimate_speculation(SYS1, point - eps).beneficial
+        assert estimate_speculation(SYS1, point + eps).beneficial
+
+    def test_load_raises_the_breakeven(self):
+        idle = breakeven_hit_probability(SYS1, load=0.0)
+        saturated = breakeven_hit_probability(SYS1, load=1.0)
+        assert saturated > idle
+
+    def test_server_time_lowers_the_breakeven_when_idle(self):
+        # More hidden latency per hit, same cheap waste.
+        cheap = breakeven_hit_probability(SYS1, server_time_s=0.0)
+        heavy = breakeven_hit_probability(SYS1, server_time_s=0.005)
+        assert heavy < cheap
+
+    def test_threshold_boundary_is_inclusive(self):
+        """Exactly at the threshold speculation is allowed (>= contract);
+        epsilon below it is not."""
+        assert should_speculate(SYS1, 0.7, threshold=0.7)
+        assert not should_speculate(SYS1, 0.7 - 1e-9, threshold=0.7)
+
+    def test_threshold_one_requires_certainty(self):
+        assert not should_speculate(SYS1, 0.999, threshold=1.0)
+        assert should_speculate(SYS1, 1.0, threshold=1.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_speculation(SYS1, -0.1)
+        with pytest.raises(ValueError):
+            estimate_speculation(SYS1, 1.1)
+        with pytest.raises(ValueError):
+            estimate_speculation(SYS1, 0.5, load=2.0)
+        with pytest.raises(ValueError):
+            should_speculate(SYS1, 0.5, threshold=-0.5)
+
+
+class TestSpeculationPolicy:
+    def test_default_policy_approves_on_sys1(self):
+        assert SpeculationPolicy().approves()
+
+    def test_threshold_gates_the_static_estimate(self):
+        policy = SpeculationPolicy(hit_probability=0.5)
+        assert policy.approves()
+        assert not policy.with_threshold(0.9).approves()
+        assert policy.with_threshold(0.5).approves()  # inclusive
+
+    def test_site_override_beats_the_static_estimate(self):
+        policy = SpeculationPolicy(hit_probability=0.5, threshold=0.8)
+        assert not policy.approves()
+        assert policy.approves(hit_probability=0.95)
+
+    def test_instant_profile_policy_never_approves(self):
+        assert not SpeculationPolicy(profile=INSTANT, hit_probability=1.0).approves()
+
+    def test_invalid_policy_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(hit_probability=1.5)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(threshold=1.5)
 
 
 class TestEstimateDataclass:

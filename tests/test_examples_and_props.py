@@ -22,6 +22,8 @@ class TestExampleScripts:
             "callback_dashboard.py",
             "asyncio_pipeline.py",
             "transactional_forms.py",
+            "prefetch_cache.py",
+            "speculative_prefetch.py",
         ],
     )
     def test_parses_and_compiles(self, name):
@@ -35,6 +37,19 @@ class TestExampleScripts:
             and "__main__" in ast.unparse(node.test)
             for node in tree.body
         ), f"{name} must have a __main__ guard"
+
+    def test_speculative_prefetch_example_runs(self, capsys):
+        """The speculation example executes end to end: it asserts
+        internally that the speculative kernel's cards match blocking
+        execution, and reports fully settled speculation stats."""
+        import runpy
+
+        runpy.run_path(
+            str(EXAMPLES_DIR / "speculative_prefetch.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "speculate_query" in out
+        assert "hits" in out and "wasted" in out
 
     def test_examples_use_public_api_only(self):
         """Examples must import from `repro` / documented subpackages."""

@@ -414,3 +414,193 @@ def program(conn, x, flag):
             lambda: (7, True),
             threaded=True,
         )
+
+
+class TestSpeculativeMode:
+    SOURCE = """
+def f(conn, x):
+    row = conn.execute_query("first", [x])
+    level = row.scalar()
+    if level > 3:
+        extra = conn.execute_query("second", [x])
+        level = level + extra.scalar()
+    return level
+"""
+
+    def test_off_by_default(self):
+        result = transform(self.SOURCE)
+        assert "speculate_query" not in result.source
+        assert all(not site.speculative for site in result.prefetch_sites)
+
+    def test_unguarded_lift_climbs_past_the_guard_producer(self):
+        """The guard depends on the first query's result; only the
+        speculative mode can start the second read before it."""
+        result = transform(self.SOURCE, speculate=True)
+        lines = [line.strip() for line in result.source.splitlines()]
+        speculate_line = next(
+            i for i, l in enumerate(lines) if "speculate_query" in l
+        )
+        fetch_first = next(
+            i for i, l in enumerate(lines)
+            if "fetch_result" in l and "extra" not in l
+        )
+        assert speculate_line < fetch_first  # above the producing fetch
+        assert "if level > 3:" in result.source  # the consumer stays guarded
+        site = next(s for s in result.prefetch_sites if s.speculative)
+        assert not site.guarded
+        assert "(speculative)" in result.summary()
+
+    def test_guarded_mode_cannot_climb_past_the_guard_producer(self):
+        result = transform(self.SOURCE)
+        lines = [line.strip() for line in result.source.splitlines()]
+        submits = [i for i, l in enumerate(lines) if "submit_query" in l]
+        if submits:  # the guarded submit stays below the producing fetch
+            level_line = next(
+                i for i, l in enumerate(lines) if l == "level = row.scalar()"
+            )
+            assert all(s > level_line for s in submits)
+
+    def test_policy_rejection_falls_back_to_guarded(self):
+        from repro.db.latency import INSTANT
+        from repro.transform.costmodel import SpeculationPolicy
+
+        result = transform(
+            self.SOURCE,
+            speculate=True,
+            speculation=SpeculationPolicy(profile=INSTANT),
+        )
+        assert "speculate_query" not in result.source
+
+    def test_threshold_rejection_falls_back_to_guarded(self):
+        result = transform(self.SOURCE, speculate=True, speculate_threshold=0.95)
+        assert "speculate_query" not in result.source
+        # the guarded lift still happens where legal
+        assert all(not site.speculative for site in result.prefetch_sites)
+
+    def test_threshold_requires_speculate(self):
+        with pytest.raises(ValueError):
+            transform(self.SOURCE, speculate_threshold=0.5)
+
+    def test_updates_are_never_speculated(self):
+        result = transform(
+            """
+def f(conn, x, flag):
+    a = x + 1
+    if flag:
+        conn.execute_update("ins", [x])
+    return a
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+        assert "speculate_update" not in result.source
+
+    def test_specs_without_speculative_form_stay_guarded(self):
+        """Web-service calls declare no speculative counterpart."""
+        result = transform(
+            """
+def f(client, key, detailed):
+    base = key + 1
+    if detailed:
+        entity = client.get_entity(key)
+        base = base + entity["n"]
+    return base
+""",
+            speculate=True,
+        )
+        assert "submit_get_entity" in result.source
+        assert "speculate" not in result.source
+
+    def test_impure_test_blocks_the_speculative_lift_too(self):
+        result = transform(
+            """
+def f(conn, items):
+    a = 1
+    if items.pop():
+        r = conn.execute_query("q", [a])
+        a = r.scalar()
+    return a
+""",
+            speculate=True,
+        )
+        # The lift is decided before mode: an impure test never lifts.
+        assert "speculate_query" not in result.source
+        assert "submit_query" not in result.source
+
+
+class TestSpeculativeEquivalence:
+    def assert_equivalent(self, source, func_name, args_factory, **kwargs):
+        """Outputs must match; the speculative query multiset may only
+        *add* read-only queries to the original's."""
+        out_a, out_b, conn_a, conn_b, result = run_both(
+            source, func_name, args_factory, prefetch=True, speculate=True,
+            **kwargs
+        )
+        assert out_a == out_b
+        original = conn_a.query_multiset()
+        speculative = conn_b.query_multiset()
+        for key, count in original.items():
+            assert speculative.get(key, 0) >= count, (key, original, speculative)
+        extras = {
+            key: speculative[key] - original.get(key, 0)
+            for key in speculative
+            if speculative[key] > original.get(key, 0)
+        }
+        assert all(kind == "query" for kind, _sql, _params in extras), (
+            f"speculation may only add reads, got {extras}"
+        )
+        return result
+
+    def test_guard_true_consumes_the_speculation(self):
+        result = self.assert_equivalent(
+            """
+def program(conn, x):
+    row = conn.execute_query("first", [x])
+    n = row.scalar()
+    if n >= 0:
+        extra = conn.execute_query("second", [x])
+        n = n + extra.scalar()
+    return n
+""",
+            "program",
+            lambda: (5,),
+        )
+        assert any(site.speculative for site in result.prefetch_sites)
+
+    def test_guard_false_abandons_the_speculation(self):
+        out_a, out_b, conn_a, conn_b, _result = run_both(
+            """
+def program(conn, x):
+    row = conn.execute_query("first", [x])
+    n = row.scalar()
+    if n < 0:
+        extra = conn.execute_query("second", [x])
+        n = n + extra.scalar()
+    return n
+""",
+            "program",
+            lambda: (5,),
+            prefetch=True,
+            speculate=True,
+        )
+        assert out_a == out_b
+        # The speculation ran a "second" query the original never did.
+        assert ("query", "second", (5,)) not in conn_a.query_multiset()
+        assert conn_b.query_multiset().get(("query", "second", (5,)), 0) == 1
+
+    def test_threaded_speculation(self):
+        self.assert_equivalent(
+            """
+def program(conn, x):
+    row = conn.execute_query("first", [x])
+    n = row.scalar()
+    if n >= 0:
+        extra = conn.execute_query("second", [n])
+        n = n + extra.scalar()
+    s = conn.execute_query("tail", [x])
+    return n + s.scalar()
+""",
+            "program",
+            lambda: (7,),
+            threaded=True,
+        )

@@ -242,3 +242,30 @@ class TestAioWebClient:
 
         got, expected = asyncio.run(main())
         assert got == expected
+
+
+class TestNoLoopMeansNoSideEffect:
+    """Calling submit/speculate outside a running loop must raise
+    *before* dispatching anything (regression: the dispatch used to
+    happen first, so a stray submit_update committed server-side)."""
+
+    def test_submit_without_loop_dispatches_nothing(self):
+        from repro.db import Database, INSTANT
+        from repro.runtime.aio import AioConnection
+
+        db = Database(INSTANT)
+        db.create_table("t", ("k", "int"))
+        db.bulk_load("t", [(1,)])
+        conn = db.connect(async_workers=2)
+        aconn = AioConnection(conn)
+        try:
+            with pytest.raises(RuntimeError):
+                aconn.submit_update("INSERT INTO t (k) VALUES (?)", [2])
+            with pytest.raises(RuntimeError):
+                aconn.speculate_query("SELECT k FROM t WHERE k = ?", [1])
+            assert conn.stats.async_submits == 0
+            assert conn.stats.speculations == 0
+            assert conn.execute_query("SELECT count(*) FROM t").scalar() == 1
+        finally:
+            aconn.close()
+            db.close()

@@ -422,3 +422,147 @@ def program(conn, items):
             threaded=True,
             window=8,
         )
+
+
+class TestConditionallyWrittenSplitVariables:
+    """Regression: a split variable written only under a guard used to
+    be restored only "when the guard fired", so fetch iterations before
+    the first firing write read the submit loop's *final* value instead
+    of the value those iterations observed (hypothesis-found)."""
+
+    SOURCE = """
+def program(conn, n):
+    a = 1
+    b = 2
+    k = 0
+    out = []
+    while k < n:
+        k = k + 1
+        if a % 2 == 0:
+            b = a + 1
+        a = a + 1
+        qr = conn.execute_query("q", [a % 31])
+        qr = conn.execute_query("q", [b % 31])
+        out.append(qr.scalar())
+    return a, b, out
+"""
+
+    def test_prefix_iterations_see_the_preloop_value(self):
+        for n in range(6):
+            assert_equivalent(self.SOURCE, "program", lambda n=n: (n,))
+
+    def test_unconditional_capture_is_emitted(self):
+        from repro.transform import asyncify_source
+
+        result = asyncify_source(self.SOURCE)
+        # The conditionally-written b is captured every iteration (the
+        # covered guard variables keep the presence-based spill).
+        assert "['b'] = b" in result.source
+
+    def test_covered_reads_keep_presence_based_restore(self):
+        """Nested guards: the inner guard variable is conditionally
+        written but every read of it is covered by the outer guard —
+        the presence-based machinery stays (and stays correct)."""
+        assert_equivalent(
+            """
+def program(conn, items):
+    out = []
+    for item in items:
+        if item > 3:
+            if item % 2 == 0:
+                r = conn.execute_query("q", [item])
+                out.append(r.scalar())
+    return out
+""",
+            "program",
+            lambda: (list(range(12)),),
+        )
+
+    def test_guard_firing_only_late_in_the_loop(self):
+        # No iteration before the last sees the write: the worst case
+        # for the old conditional restore.
+        assert_equivalent(
+            """
+def program(conn, n):
+    label = 7
+    k = 0
+    out = []
+    while k < n:
+        k = k + 1
+        if k == n:
+            label = 99
+        r = conn.execute_query("q", [k])
+        out.append(r.scalar() + label)
+    return label, out
+""",
+            "program",
+            lambda: (5,),
+        )
+
+    def test_guard_firing_only_first_iteration(self):
+        assert_equivalent(
+            """
+def program(conn, n):
+    label = 7
+    k = 0
+    out = []
+    while k < n:
+        k = k + 1
+        if k == 1:
+            label = 99
+        r = conn.execute_query("q", [k])
+        out.append(r.scalar() + label)
+    return label, out
+""",
+            "program",
+            lambda: (5,),
+        )
+
+    def test_fetch_side_rewrite_of_the_same_variable_refuses(self):
+        """Submit-side conditional write + fetch-side write of the same
+        variable: the per-iteration value cannot be reconstructed from
+        records, so the loop must stay blocking (and stay correct)."""
+        source = """
+def program(conn, n):
+    b = 2
+    k = 0
+    out = []
+    while k < n:
+        k = k + 1
+        if k % 2 == 0:
+            b = k
+        r = conn.execute_query("q", [k])
+        b = b + r.scalar() % 3
+        out.append(b)
+    return b, out
+"""
+        result = assert_equivalent(source, "program", lambda: (6,))
+        assert result.transformed_loops == 0
+
+    def test_unbound_variable_faults_exactly_like_the_original(self):
+        """If the conditionally-written variable is unbound in early
+        iterations, the fetch side must fault with UnboundLocalError
+        exactly where the original did — never silently read a later
+        iteration's value (the restore's else-branch unbinds it)."""
+        from repro.transform import asyncify_source
+
+        source = """
+def program(conn, rows):
+    out = []
+    for r in rows:
+        if r > 0:
+            total = r
+        x = conn.execute_query("Q", [r])
+        out.append((x.scalar(), total))
+    return out
+"""
+        result = asyncify_source(source)
+        for rows in ([-1, 2, 3], [1, -2, 3], [-1, -2]):
+            def run(src):
+                namespace = {}
+                exec(compile(src, "<prog>", "exec"), namespace)
+                try:
+                    return ("ok", namespace["program"](FakeConnection(), list(rows)))
+                except UnboundLocalError:
+                    return ("unbound", None)
+            assert run(source) == run(result.source), rows

@@ -56,8 +56,10 @@ unguarded mode).  The contract:
   cache;
 * :meth:`SubmissionPipeline.drain_speculations` (called by
   ``Connection.close``) abandons every unsettled handle and waits the
-  in-flight ones out, so dropped handles never leak executor work past
-  the connection's lifetime.
+  in-flight ones out (under one overall deadline, so followers of
+  another pipeline's never-completing loads cannot hang close), so
+  dropped handles never leak executor work past the connection's
+  lifetime.
 
 :class:`CallPipeline` is the transport-agnostic half (cache lookup,
 single-flight, dispatch, speculation ledger, stats);
@@ -69,7 +71,9 @@ so cache-lookup logic exists in exactly one module.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import CancelledError
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, Set, Tuple
 
@@ -80,7 +84,7 @@ from ..db.sql.ast_nodes import is_write
 from ..db.txn import Transaction
 from ..prefetch.cache import ResultCache
 from ..prefetch.tables import tables_of_statement
-from ..runtime.handles import QueryHandle, completed_handle, failed_handle
+from ..runtime.handles import QueryHandle, failed_handle, resolved_future
 
 
 @dataclass
@@ -102,6 +106,8 @@ class SubmissionStats:
     #: Speculations abandoned unconsumed — explicitly, by the drain on
     #: connection close, or by the ledger's high-water sweep of
     #: completed-but-unclaimed handles — the guard turned out false.
+    #: A sweep that misjudged a merely-slow consumer is corrected on the
+    #: late fetch: the settle moves from here to ``speculation_hits``.
     speculation_wasted: int = 0
 
 
@@ -115,7 +121,7 @@ class SpeculativeHandle(QueryHandle):
     :meth:`CallPipeline.drain_speculations`.
     """
 
-    __slots__ = ("_pipeline", "_cancellable")
+    __slots__ = ("_pipeline", "_cancellable", "_swept")
 
     #: Class-level tag: lets front ends and tests recognize speculative
     #: handles without importing this module's internals.
@@ -131,6 +137,9 @@ class SpeculativeHandle(QueryHandle):
         super().__init__(future, label=label)
         self._pipeline = pipeline
         self._cancellable = cancellable
+        #: Set when the high-water sweep settled this handle as wasted;
+        #: a later claim corrects the ledger (see ``claim``).
+        self._swept = False
 
     @property
     def cancellable(self) -> bool:
@@ -161,6 +170,11 @@ class SpeculativeHandle(QueryHandle):
         own machinery (the asyncio adapter awaits the wrapped future
         directly) claim before waiting so a concurrent drain cannot
         misclassify a consumed handle as wasted.
+
+        A handle the high-water sweep already settled as wasted is
+        *reclassified* here (wasted decrements, hits increments): the
+        consumer was merely slow, not absent.  The call still returns
+        False — the settling itself happened earlier.
         """
         if self._pipeline is None:
             return False
@@ -261,16 +275,30 @@ class CallPipeline:
         """
         self.stats.async_submits += 1
         lease = self._acquire(key, tables)
-        if lease is not None:
-            if lease.is_hit:
-                self.stats.cache_hits += 1
-                return completed_handle(lease.value)
-            if lease.is_follower:
-                self.stats.cache_hits += 1
-                return QueryHandle(lease.future, label=label)
+        future = self._lease_future(lease)
+        if future is not None:
+            return QueryHandle(future, label=label)
         return self._run_task(
             invoke, lease, label, on_dispatch, cleanup, still_valid
         )
+
+    def _lease_future(self, lease) -> Optional["Future"]:
+        """Already-resolved future for a cache hit, or the owner's
+        in-flight future for a single-flight follower — the lease
+        outcomes that avoid a dispatch, counted as cache hits.  None
+        when a real dispatch is needed (no lease, or this caller owns
+        it).  Shared by :meth:`dispatch` and :meth:`speculate` so the
+        lease protocol cannot diverge between the two paths.
+        """
+        if lease is None:
+            return None
+        if lease.is_hit:
+            self.stats.cache_hits += 1
+            return resolved_future(lease.value)
+        if lease.is_follower:
+            self.stats.cache_hits += 1
+            return lease.future
+        return None
 
     def _run_task(
         self,
@@ -335,23 +363,12 @@ class CallPipeline:
         checks — only the handle type, the stats and the settle ledger
         differ.
         """
-        self.stats.speculations += 1
         lease = self._acquire(key, tables)
-        if lease is not None:
-            if lease.is_hit:
-                self.stats.cache_hits += 1
-                return self._track(
-                    SpeculativeHandle(
-                        completed_handle(lease.value).future,
-                        label=label,
-                        pipeline=self,
-                    )
-                )
-            if lease.is_follower:
-                self.stats.cache_hits += 1
-                return self._track(
-                    SpeculativeHandle(lease.future, label=label, pipeline=self)
-                )
+        future = self._lease_future(lease)
+        if future is not None:
+            return self._track(
+                SpeculativeHandle(future, label=label, pipeline=self)
+            )
         inner = self._run_task(
             invoke, lease, label, on_dispatch, cleanup, still_valid
         )
@@ -374,7 +391,6 @@ class CallPipeline:
         request could not even be resolved: the error surfaces at fetch
         time, or vanishes if the handle is abandoned.
         """
-        self.stats.speculations += 1
         return self._track(
             SpeculativeHandle(
                 failed_handle(error).future, label=label, pipeline=self
@@ -385,28 +401,51 @@ class CallPipeline:
         """Settle a speculative handle as wasted (see ``abandon``)."""
         return handle.abandon()
 
-    def drain_speculations(self, wait: bool = True) -> int:
+    #: Overall bound on the drain's wait.  A speculation that joined
+    #: another pipeline's in-flight load as a single-flight follower may
+    #: never complete if the owning pipeline was torn down without its
+    #: cache fail path running; connection close must not hang on it.
+    SPECULATION_DRAIN_TIMEOUT_S = 30.0
+
+    def drain_speculations(
+        self, wait: bool = True, timeout_s: Optional[float] = None
+    ) -> int:
         """Abandon every unsettled speculation; returns how many.
 
         ``wait=True`` (the default; used by connection close) blocks
         until the non-cancelled ones finish, so no executor work
-        outlives the caller.  Failures of abandoned speculations are
-        swallowed — nobody is left to observe them.
+        outlives the caller.  The wait shares one deadline, ``timeout_s``
+        (default :attr:`SPECULATION_DRAIN_TIMEOUT_S`) from entry, across
+        every handle: this pipeline's own dispatches run on its bounded
+        executor and finish, but handles following another pipeline's
+        in-flight loads may never resolve, and close must not stack
+        their waits.  Failures and timeouts of abandoned speculations
+        are swallowed — nobody is left to observe them.
         """
+        if timeout_s is None:
+            timeout_s = self.SPECULATION_DRAIN_TIMEOUT_S
         with self._spec_lock:
             pending = list(self._speculations)
         for handle in pending:
             handle.abandon()
         if wait:
+            deadline = time.monotonic() + timeout_s
             for handle in pending:
                 try:
-                    handle.exception()
-                except CancelledError:
+                    handle.exception(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+                except (CancelledError, FutureTimeoutError):
                     pass
         return len(pending)
 
     def _track(self, handle: SpeculativeHandle) -> SpeculativeHandle:
         with self._spec_lock:
+            # The dispatch counter moves with the ledger, under the same
+            # lock as the hit/waste counters, so the invariant
+            # speculations == hits + wasted + unsettled never
+            # transiently misreads under concurrent front ends.
+            self.stats.speculations += 1
             self._speculations.add(handle)
             excess = len(self._speculations) - self.SPECULATION_HIGH_WATER
             stale: list = []
@@ -425,19 +464,31 @@ class CallPipeline:
             # Completed long ago and never claimed: almost certainly a
             # guard-false handle the generated code dropped.  Settling
             # it as wasted bounds the ledger; a later fetch still
-            # returns the result (claim just reports False).
-            old.abandon()
+            # returns the result, and its claim reclassifies the settle
+            # as a hit (the consumer was slow, not absent).
+            self._settle_speculation(old, hit=False, swept=True)
         return handle
 
-    def _settle_speculation(self, handle: SpeculativeHandle, hit: bool) -> bool:
+    def _settle_speculation(
+        self, handle: SpeculativeHandle, hit: bool, swept: bool = False
+    ) -> bool:
         with self._spec_lock:
             if handle not in self._speculations:
+                if hit and handle._swept:
+                    # The high-water sweep misjudged a merely-slow
+                    # consumer as absent; move the settle from waste to
+                    # hit so SpeculationPolicy-relevant rates stay true.
+                    handle._swept = False
+                    self.stats.speculation_wasted -= 1
+                    self.stats.speculation_hits += 1
                 return False  # already settled (fetch/abandon race)
             self._speculations.discard(handle)
             if hit:
                 self.stats.speculation_hits += 1
             else:
                 self.stats.speculation_wasted += 1
+                if swept:
+                    handle._swept = True
         if not hit and handle.cancellable:
             # Still-queued and invisible to anyone else: skip the round
             # trip entirely.  A task already running just completes.
@@ -636,10 +687,14 @@ class SubmissionPipeline:
         """Settle a speculative handle as wasted (idempotent)."""
         return self._calls.abandon(handle)
 
-    def drain_speculations(self, wait: bool = True) -> int:
+    def drain_speculations(
+        self, wait: bool = True, timeout_s: Optional[float] = None
+    ) -> int:
         """Abandon every unsettled speculation (connection close calls
-        this so dropped handles never leak executor work)."""
-        return self._calls.drain_speculations(wait=wait)
+        this so dropped handles never leak executor work); the wait
+        shares one overall deadline — see
+        :meth:`CallPipeline.drain_speculations`."""
+        return self._calls.drain_speculations(wait=wait, timeout_s=timeout_s)
 
     # ------------------------------------------------------------------
     # internals

@@ -198,6 +198,37 @@ class _Collector(ast.NodeVisitor):
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
 
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # The class *name* is bound like a def's; the body still
+        # contributes its own reads/writes.
+        self.writes.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        # Imports bind names just like assignments do; without this a
+        # statement referencing the imported name could be reordered
+        # above its import.
+        self.writes.update(import_bound_names(node))
+
+    visit_ImportFrom = visit_Import  # type: ignore[assignment]
+
+    # Match patterns (3.10+) bind captures through a plain string
+    # attribute, invisible to visit_Name; the methods simply never
+    # dispatch on interpreters without the node types.
+    def visit_MatchAs(self, node) -> None:
+        if node.name:
+            self.writes.add(node.name)
+        self.generic_visit(node)
+
+    def visit_MatchStar(self, node) -> None:
+        if node.name:
+            self.writes.add(node.name)
+
+    def visit_MatchMapping(self, node) -> None:
+        if node.rest:
+            self.writes.add(node.rest)
+        self.generic_visit(node)
+
 
 def _base_name(node: ast.expr) -> Optional[str]:
     """Innermost ``Name`` of an attribute/subscript chain, else None."""
@@ -206,6 +237,15 @@ def _base_name(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Name):
         return node.id
     return None
+
+
+def import_bound_names(node) -> Set[str]:
+    """Names an ``import``/``from-import`` statement binds — the one
+    definition shared by the def/use collector and the prefetch pass's
+    binding analyses, so they cannot diverge."""
+    return {
+        alias.asname or alias.name.split(".")[0] for alias in node.names
+    }
 
 
 def analyze_statement(node: ast.stmt, purity: PurityEnv, registry=None) -> DefUse:

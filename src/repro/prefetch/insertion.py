@@ -51,8 +51,17 @@ dependence on the guard's inputs, so a speculative submit can climb
 past the very statements that *compute* the guard — the case the
 guarded hoist can never touch (e.g. a detail lookup conditioned on the
 first query's result).  The query multiset is deliberately no longer
-preserved: extra read-only submissions may be issued.  Every site is
-gated by a :class:`~repro.transform.costmodel.SpeculationPolicy`
+preserved: extra read-only submissions may be issued.  Nothing *else*
+may change, though — the lifted submit's receiver and argument
+expressions are evaluated in executions where the guard was false, so
+the lift is taken only when every one of them is total and effect-free
+(constants and plain names that are definitely bound at the lift
+point; see ``_total_unguarded``).  An argument like ``x.id`` under
+``if x is not None``, a mutating one like ``items.pop()``, or a local
+bound only conditionally (``if flag: y = 1`` before ``if flag:
+... [y]`` would raise ``UnboundLocalError`` unguarded) keeps the site
+on the guarded hoist.  Every surviving
+site is gated by a :class:`~repro.transform.costmodel.SpeculationPolicy`
 (estimated hit probability x round trip saved vs. wasted-submit cost),
 so cold or worthless speculations fall back to the guarded hoist.  The
 runtime contract for the abandoned handles lives in
@@ -64,13 +73,18 @@ from __future__ import annotations
 import ast
 import copy
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..transform.costmodel import SpeculationPolicy
 
 from ..analysis.ddg import conflicting_resources
-from ..ir.defuse import DefUse, analyze_expression, analyze_statement
+from ..ir.defuse import (
+    DefUse,
+    analyze_expression,
+    analyze_statement,
+    import_bound_names,
+)
 from ..ir.purity import PurityEnv
 from ..ir.statements import find_query_call
 from ..transform.codegen import name_load, name_store
@@ -125,6 +139,10 @@ class PrefetchInserter:
 
             speculation = SpeculationPolicy()
         self.speculation = speculation
+        #: Locals of the function currently being processed (an
+        #: over-approximation — see ``_assigned_names``); a name in it
+        #: may only escape a guard where it is definitely bound.
+        self._locals: Set[str] = set()
 
     # ------------------------------------------------------------------
     def run(self, tree: ast.AST) -> List[PrefetchSite]:
@@ -133,8 +151,10 @@ class PrefetchInserter:
         sites: List[PrefetchSite] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.FunctionDef):
+                self._locals = _assigned_names(node)
                 node.body = self._process_block(
-                    node.body, node.name, allocator, sites, liftable=False
+                    node.body, node.name, allocator, sites,
+                    liftable=False, bound=_parameter_names(node),
                 )
         ast.fix_missing_locations(tree)
         return sites
@@ -149,34 +169,57 @@ class PrefetchInserter:
         allocator: NameAllocator,
         sites: List[PrefetchSite],
         liftable: bool,
+        bound: Set[str],
     ) -> List[ast.stmt]:
+        """``bound`` is the set of locals definitely bound when the
+        block is entered; it grows statement by statement and prices
+        the unguarded lift (a lifted submit may only read locals that
+        are definitely bound where it lands)."""
         out: List[ast.stmt] = []
         for node in nodes:
+            deleted = _deleted_names(node)
             if isinstance(node, ast.If):
                 node.body = self._process_block(
                     node.body, function, allocator, sites,
                     liftable=self._effect_free_test(node.test),
+                    bound=set(bound),
                 )
                 node.orelse = self._process_block(
-                    node.orelse, function, allocator, sites, liftable=False
+                    node.orelse, function, allocator, sites,
+                    liftable=False, bound=set(bound),
                 )
-                for guarded in self._lift_from_if(node):
+                for guarded in self._lift_from_if(node, bound):
                     out.append(guarded)
                     self._hoist_existing(out, len(out) - 1)
                 out.append(node)
             elif isinstance(node, (ast.While, ast.For)):
                 # Within a loop body submits may move earlier *inside the
                 # iteration*; crossing the loop boundary would change how
-                # many times the query runs, so nothing lifts out.
+                # many times the query runs, so nothing lifts out.  A
+                # prior iteration may already have run the body's dels,
+                # so they are subtracted from the body's own entry set.
+                body_bound = set(bound) - deleted
+                if isinstance(node, ast.For):
+                    body_bound |= _store_names(node.target)
                 node.body = self._process_block(
-                    node.body, function, allocator, sites, liftable=False
+                    node.body, function, allocator, sites,
+                    liftable=False, bound=body_bound,
                 )
                 if node.orelse:
                     node.orelse = self._process_block(
-                        node.orelse, function, allocator, sites, liftable=False
+                        node.orelse, function, allocator, sites,
+                        liftable=False, bound=set(bound) - deleted,
                     )
                 out.append(node)
             elif isinstance(node, (ast.Try, ast.With)):
+                body_bound = set(bound)
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        if item.optional_vars is not None:
+                            body_bound |= _store_names(item.optional_vars)
+                # Handlers/orelse/finalbody run after a (possibly
+                # partial) body execution whose dels already happened.
+                after_partial = set(bound) - deleted
                 for attr in ("body", "orelse", "finalbody"):
                     block = getattr(node, attr, None)
                     if block:
@@ -184,16 +227,26 @@ class PrefetchInserter:
                             node,
                             attr,
                             self._process_block(
-                                block, function, allocator, sites, liftable=False
+                                block, function, allocator, sites,
+                                liftable=False,
+                                bound=(
+                                    body_bound if attr == "body"
+                                    else set(after_partial)
+                                ),
                             ),
                         )
                 for handler in getattr(node, "handlers", []):
                     handler.body = self._process_block(
-                        handler.body, function, allocator, sites, liftable=False
+                        handler.body, function, allocator, sites,
+                        liftable=False, bound=set(after_partial),
                     )
                 out.append(node)
             else:
                 out.append(node)
+            # Union before subtracting: a path that dels a name beats
+            # a sibling path that binds it.
+            bound |= _definite_bindings(node)
+            bound -= deleted
         self._insert_prefetches(out, function, allocator, sites, liftable)
         return out
 
@@ -331,13 +384,13 @@ class PrefetchInserter:
     # ------------------------------------------------------------------
     # lifting guarded submits out of conditionals
     # ------------------------------------------------------------------
-    def _lift_from_if(self, node: ast.If) -> List[ast.stmt]:
+    def _lift_from_if(self, node: ast.If, bound: Set[str]) -> List[ast.stmt]:
         lifted: List[ast.stmt] = []
         while len(node.body) > 1 and getattr(node.body[0], HOIST_ATTR, False):
             submit = node.body.pop(0)
             setattr(submit, HOIST_ATTR, False)
             site = getattr(submit, SITE_ATTR, None)
-            speculative_name = self._speculative_name(submit)
+            speculative_name = self._speculative_name(submit, bound)
             if speculative_name is not None:
                 # Unguarded lift: the submit escapes the conditional as
                 # a speculative dispatch.  No guard is emitted, so the
@@ -361,10 +414,13 @@ class PrefetchInserter:
             lifted.append(guarded)
         return lifted
 
-    def _speculative_name(self, submit: ast.stmt) -> Optional[str]:
+    def _speculative_name(
+        self, submit: ast.stmt, bound: Set[str]
+    ) -> Optional[str]:
         """Speculative method name for a lifted submit, or None when the
         site must stay guarded (mode off, no speculative form declared,
-        or the cost model rejects the speculation)."""
+        receiver/argument expressions unsafe to evaluate unguarded, or
+        the cost model rejects the speculation)."""
         if not self.speculate or self.speculation is None:
             return None
         call = getattr(submit, "value", None)
@@ -375,14 +431,176 @@ class PrefetchInserter:
         spec = self.registry.lookup_async(call.func.attr)
         if spec is None or not spec.speculate:
             return None
+        if not self._total_unguarded(call, bound):
+            return None
         if not self.speculation.approves():
             return None
         return spec.speculate
+
+    def _total_unguarded(self, call: ast.Call, bound: Set[str]) -> bool:
+        """May the lifted submit be *evaluated* where its guard is false?
+
+        Speculation only adds extra read-only submissions — it must not
+        add crashes or side effects.  The unguarded lift evaluates the
+        call's receiver and argument expressions in executions the
+        original never evaluated them in, so every one of them must be
+        total (cannot raise) and effect-free (cannot mutate) without
+        the guard's premise.  Only constants, plain names, and
+        tuples/lists of those qualify — and a name that is a local of
+        the function must additionally be *definitely bound* at the
+        lift point (``bound``): a local assigned only under the same
+        condition would raise ``UnboundLocalError`` on the false path.
+        An attribute access (``x.id`` under ``if x is not None``), a
+        call (``items.pop()``), a subscript, or an operator may crash
+        or mutate state exactly when the guard would have been false.
+        Non-local names (module globals like a SQL constant, builtins)
+        are assumed bound, as the module-evaluation order already does.
+        """
+
+        def total(node: ast.expr) -> bool:
+            if isinstance(node, ast.Constant):
+                return True
+            if isinstance(node, ast.Name):
+                return isinstance(node.ctx, ast.Load) and (
+                    node.id in bound or node.id not in self._locals
+                )
+            if isinstance(node, (ast.Tuple, ast.List)):
+                return all(total(elt) for elt in node.elts)
+            return False
+
+        if not total(call.func.value):
+            return False
+        if any(kw.arg is None for kw in call.keywords):
+            return False  # ** unpacking may raise on a non-mapping
+        return all(total(arg) for arg in call.args) and all(
+            total(kw.value) for kw in call.keywords
+        )
 
     def _effect_free_test(self, test: ast.expr) -> bool:
         """Lifting duplicates the test: it must read program state only."""
         du = analyze_expression(test, self.purity, self.registry)
         return not du.writes and not du.external_writes and not du.external_reads
+
+
+def _store_names(target: ast.expr) -> Set[str]:
+    """Plain names bound by an assignment target (tuple/list/star
+    patterns included; ``a.b = ...`` / ``a[i] = ...`` bind no name)."""
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
+
+
+def _parameter_names(fn: ast.FunctionDef) -> Set[str]:
+    """The function's parameters — bound from the moment it is entered."""
+    args = fn.args
+    names = {
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+#: Match-pattern nodes (3.10+) that bind a capture through a plain
+#: string attribute instead of a ``Name(Store)`` node.
+_MATCH_CAPTURE_NODES = tuple(
+    cls
+    for cls in (getattr(ast, "MatchAs", None), getattr(ast, "MatchStar", None))
+    if cls is not None
+)
+_MATCH_REST_NODES = tuple(
+    cls for cls in (getattr(ast, "MatchMapping", None),) if cls is not None
+)
+
+
+def _assigned_names(fn: ast.FunctionDef) -> Set[str]:
+    """Every name ``fn`` may bind — an *over*-approximation of its
+    locals (nested scopes are not excluded: misclassifying a global as
+    a local only costs a guarded fallback, never a crash)."""
+    names = _parameter_names(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            names.update(import_bound_names(node))
+        elif isinstance(node, ast.arg):
+            names.add(node.arg)
+        elif isinstance(node, _MATCH_CAPTURE_NODES) and node.name:
+            names.add(node.name)
+        elif isinstance(node, _MATCH_REST_NODES) and node.rest:
+            names.add(node.rest)
+        elif (
+            isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and node is not fn
+        ):
+            names.add(node.name)
+    return names
+
+
+def _definite_bindings(node: ast.stmt) -> Set[str]:
+    """Names definitely bound once control passes ``node``.
+
+    An *under*-approximation — loops (zero iterations) and ``try``
+    blocks (a binding may be skipped by the exception) contribute
+    nothing, an ``if`` only what both branches bind, a ``with`` only
+    its *first* ``as`` target (a suppressing context manager —
+    ``contextlib.suppress`` — can swallow the exception that skipped
+    the body's bindings *and* a later item's ``__enter__``, leaving
+    those names unbound while control still reaches the next
+    statement; only the first item's enter has nothing above it to
+    suppress) — so a name reported here can never be unbound on any
+    path that reaches the next statement.  Deletions are handled by the caller
+    (``_deleted_names`` is subtracted *after* this union, so a branch
+    that dels wins over one that binds).
+    """
+    out: Set[str] = set()
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            out |= _store_names(target)
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is not None:
+            out |= _store_names(node.target)
+    elif isinstance(node, ast.AugAssign):
+        out |= _store_names(node.target)  # completing implies it was bound
+    elif isinstance(node, (ast.Import, ast.ImportFrom)):
+        out |= import_bound_names(node)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.add(node.name)
+    elif isinstance(node, ast.If) and node.orelse:
+        def block(stmts: List[ast.stmt]) -> Set[str]:
+            names: Set[str] = set()
+            for stmt in stmts:
+                names |= _definite_bindings(stmt)
+            return names
+
+        out |= block(node.body) & block(node.orelse)
+    elif isinstance(node, ast.With) and node.items:
+        first = node.items[0]
+        if first.optional_vars is not None:
+            out |= _store_names(first.optional_vars)
+    return out
+
+
+def _deleted_names(node: ast.stmt) -> Set[str]:
+    """Names a ``del`` anywhere inside ``node`` *may* unbind — an
+    over-approximation (a del on any conditional path revokes the
+    definite binding; erring toward unbound only costs a guarded
+    fallback)."""
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Del)
+    }
 
 
 def _transfers_control(node: ast.AST, in_loop: bool = False) -> bool:

@@ -63,12 +63,18 @@ class QueryHandle:
         return f"<QueryHandle{label} {state}>"
 
 
+def resolved_future(value: Any) -> "Future[Any]":
+    """An already-completed future holding ``value`` — the one place
+    resolved-future construction lives (cache hits, test fixtures)."""
+    future: "Future[Any]" = Future()
+    future.set_result(value)
+    return future
+
+
 def completed_handle(value: Any) -> QueryHandle:
     """A handle that is already resolved (used by tests and by the
     synchronous fallback path of the transformed code)."""
-    future: "Future[Any]" = Future()
-    future.set_result(value)
-    return QueryHandle(future)
+    return QueryHandle(resolved_future(value))
 
 
 def failed_handle(error: BaseException) -> QueryHandle:

@@ -614,3 +614,64 @@ class TestSpeculationCacheProtocol:
         pipeline.executor.close()
         stats = pipeline.stats
         assert stats.speculation_hits + stats.speculation_wasted == stats.speculations
+
+    def test_late_claim_reclassifies_a_swept_handle_as_a_hit(self):
+        """The sweep guesses a completed-but-unclaimed handle is
+        guard-false; a consumer that was merely slow corrects the
+        ledger when it finally fetches (waste -> hit, exactly once)."""
+        pipeline = self._pipeline(workers=2)
+        pipeline.SPECULATION_HIGH_WATER = 2
+        handles = [pipeline.speculate(lambda: "v") for _ in range(6)]
+        for handle in handles:
+            handle.result()  # all completed, none claimed
+        pipeline.speculate(lambda: "v").result()  # pushes past high water
+        swept = [h for h in handles if h._swept]
+        assert swept, "the sweep should have settled completed handles"
+        hits, wasted = (
+            pipeline.stats.speculation_hits,
+            pipeline.stats.speculation_wasted,
+        )
+        assert pipeline.fetch(swept[0]) == "v"
+        assert pipeline.stats.speculation_hits == hits + 1
+        assert pipeline.stats.speculation_wasted == wasted - 1
+        # Reclassification happens once; a second fetch changes nothing.
+        assert pipeline.fetch(swept[0]) == "v"
+        assert pipeline.stats.speculation_hits == hits + 1
+        pipeline.drain_speculations()
+        pipeline.executor.close()
+        stats = pipeline.stats
+        assert stats.speculation_hits + stats.speculation_wasted == stats.speculations
+
+    def test_drain_wait_is_bounded_for_a_never_completing_follower(self):
+        """A speculation that joined another pipeline's in-flight load
+        can never be completed by this pipeline; close's drain must time
+        out on it rather than hang."""
+        import threading
+        import time
+
+        cache = ResultCache(capacity=8)
+        owner = self._pipeline(cache)
+        follower = self._pipeline(cache)
+        started, release = threading.Event(), threading.Event()
+
+        def invoke():
+            started.set()
+            release.wait(timeout=10)
+            return "owned"
+
+        owned = owner.dispatch(invoke, key="k", tables=["t"])
+        assert started.wait(timeout=5)
+        speculation = follower.speculate(
+            lambda: pytest.fail("follower must join, not re-execute"),
+            key="k",
+            tables=["t"],
+        )
+        assert not speculation.done()
+        begin = time.perf_counter()
+        assert follower.drain_speculations(wait=True, timeout_s=0.2) == 1
+        assert time.perf_counter() - begin < 5
+        assert follower.stats.speculation_wasted == 1
+        release.set()
+        assert owned.result(timeout=5) == "owned"
+        owner.executor.close()
+        follower.executor.close()

@@ -1,5 +1,7 @@
 """Prefetch insertion: earliest-point submission with dependence limits."""
 
+import sys
+
 import pytest
 
 from repro.transform import asyncify_source, prefetch_source
@@ -511,6 +513,295 @@ def f(client, key, detailed):
         assert "submit_get_entity" in result.source
         assert "speculate" not in result.source
 
+    def test_guard_protected_argument_stays_guarded(self):
+        """`x.id` is only safe to evaluate under `x is not None`;
+        speculation must not move it to the false path."""
+        result = transform(
+            """
+def f(conn, x):
+    a = 1
+    if x is not None:
+        r = conn.execute_query("q", [x.id])
+        a = r.scalar()
+    return a
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+        # The site falls back to the guarded hoist, not to nothing.
+        assert "submit_query" in result.source
+        assert "if x is not None:" in result.source
+        assert any(
+            site.guarded and not site.speculative
+            for site in result.prefetch_sites
+        )
+
+    def test_mutating_argument_stays_guarded(self):
+        """`items.pop()` guarded mutates only when the guard is true;
+        an unguarded lift would mutate state the original never touched."""
+        result = transform(
+            """
+def f(conn, items, flag):
+    a = 1
+    if flag:
+        r = conn.execute_query("q", [items.pop()])
+        a = r.scalar()
+    return a
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+        assert "submit_query" in result.source
+
+    def test_guard_protected_receiver_stays_guarded(self):
+        """The receiver is evaluated too: `state.conn` under
+        `state is not None` must not escape the guard."""
+        result = transform(
+            """
+def f(state, x):
+    a = 1
+    if state is not None:
+        r = state.conn.execute_query("q", [x])
+        a = r.scalar()
+    return a
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    def test_plain_name_and_constant_arguments_still_speculate(self):
+        result = transform(
+            """
+def f(conn, x):
+    row = conn.execute_query("first", [x])
+    n = row.scalar()
+    if n > 0:
+        extra = conn.execute_query("second", [x, 7])
+        n = n + extra.scalar()
+    return n
+""",
+            speculate=True,
+        )
+        assert "speculate_query" in result.source
+
+    def test_conditionally_bound_argument_stays_guarded(self):
+        """A local assigned only under the guard's condition is unbound
+        on the false path: evaluating it unguarded would raise
+        UnboundLocalError the original program never raised."""
+        result = transform(
+            """
+def f(conn, flag):
+    if flag:
+        y = 1
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+        assert "submit_query" in result.source  # guarded fallback
+
+    def test_definitely_bound_local_argument_still_speculates(self):
+        """An unconditional prior assignment makes a local safe to
+        evaluate on the false path; the lift lands below it."""
+        result = transform(
+            """
+def f(conn, x):
+    row = conn.execute_query("first", [x])
+    n = row.scalar()
+    if n > 0:
+        extra = conn.execute_query("second", [n])
+        n = n + extra.scalar()
+    return n
+""",
+            speculate=True,
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        speculate_line = next(
+            i for i, l in enumerate(lines) if "speculate_query" in l
+        )
+        binding = next(
+            i for i, l in enumerate(lines) if l == "n = row.scalar()"
+        )
+        assert speculate_line > binding  # the data dependence pins it
+
+    def test_import_bound_argument_stays_below_the_import(self):
+        """A function-local import binds its names like an assignment;
+        the lifted submit may speculate but must not climb above the
+        binding (the defuse pass records import bindings as writes)."""
+        result = transform(
+            """
+def f(conn, flag):
+    from json import dumps
+    if flag:
+        r = conn.execute_query("q", [dumps])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        speculate_line = next(
+            i for i, l in enumerate(lines) if "speculate_query" in l
+        )
+        import_line = next(
+            i for i, l in enumerate(lines) if l == "from json import dumps"
+        )
+        assert speculate_line > import_line
+
+    def test_class_bound_argument_stays_below_the_class(self):
+        result = transform(
+            """
+def f(conn, flag):
+    class Q:
+        pass
+    if flag:
+        r = conn.execute_query("q", [Q])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        lines = [line.strip() for line in result.source.splitlines()]
+        speculate_line = next(
+            i for i, l in enumerate(lines) if "speculate_query" in l
+        )
+        class_line = next(i for i, l in enumerate(lines) if l == "class Q:")
+        assert speculate_line > class_line
+
+    def test_with_body_binding_stays_guarded(self):
+        """A context manager may suppress the exception that skipped
+        the body's binding — control reaches the query with the name
+        unbound, so with-body bindings are never definite."""
+        result = transform(
+            """
+def f(conn, d, k, flag):
+    from contextlib import suppress
+    with suppress(KeyError):
+        y = d[k]
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    def test_later_with_item_target_stays_guarded(self):
+        """With multiple items, a later item's __enter__ can raise, be
+        suppressed by an earlier item, and leave its as-target unbound
+        while control continues; only the first target is definite."""
+        result = transform(
+            """
+def f(conn, cm, thing, flag):
+    with cm as s, thing as y:
+        pass
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    def test_first_with_item_target_still_speculates(self):
+        result = transform(
+            """
+def f(conn, cm, flag):
+    with cm as y:
+        pass
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" in result.source
+
+    def test_deleted_local_stays_guarded(self):
+        """``del`` revokes a definite binding; a later conditional
+        rebinding must not resurrect the unguarded lift."""
+        result = transform(
+            """
+def f(conn, flag):
+    y = 1
+    del y
+    if flag:
+        y = 2
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    def test_deleted_in_loop_body_stays_guarded(self):
+        """A prior iteration may have run the body's del: the loop
+        body's entry set must not inherit the name as bound."""
+        result = transform(
+            """
+def f(conn, flag, items):
+    y = 1
+    for it in items:
+        if flag:
+            r = conn.execute_query("q", [y])
+            s = r.scalar()
+        if it < 0:
+            del y
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    def test_deleted_in_try_body_keeps_handler_guarded(self):
+        """The handler runs after a partial body execution whose del
+        already happened."""
+        result = transform(
+            """
+def f(conn, risky, flag):
+    y = 1
+    try:
+        del y
+        risky()
+    except Exception:
+        if flag:
+            r = conn.execute_query("q", [y])
+            return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 10), reason="match statements are 3.10+"
+    )
+    def test_match_capture_stays_guarded(self):
+        """A case capture binds through a string attribute, invisible
+        to Name(Store) walks; a non-matching subject leaves it unbound."""
+        result = transform(
+            """
+def f(conn, x, flag):
+    match x:
+        case [y]:
+            pass
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            speculate=True,
+        )
+        assert "speculate_query" not in result.source
+
     def test_impure_test_blocks_the_speculative_lift_too(self):
         result = transform(
             """
@@ -587,6 +878,27 @@ def program(conn, x):
         # The speculation ran a "second" query the original never did.
         assert ("query", "second", (5,)) not in conn_a.query_multiset()
         assert conn_b.query_multiset().get(("query", "second", (5,)), 0) == 1
+
+    def test_conditionally_bound_local_false_path_executes(self):
+        """Regression: a local bound only under the guard must not be
+        evaluated speculatively — the transformed false path used to
+        raise UnboundLocalError the original never raised."""
+        out_a, out_b, _conn_a, _conn_b, _result = run_both(
+            """
+def program(conn, flag):
+    if flag:
+        y = 1
+    if flag:
+        r = conn.execute_query("q", [y])
+        return r.scalar()
+    return 0
+""",
+            "program",
+            lambda: (False,),
+            prefetch=True,
+            speculate=True,
+        )
+        assert out_a == out_b == 0
 
     def test_threaded_speculation(self):
         self.assert_equivalent(

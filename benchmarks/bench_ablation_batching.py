@@ -10,7 +10,12 @@ The paper positions the two techniques precisely:
   because the computation runs while requests are in flight.
 
 This benchmark measures blocking / batched / async under both regimes
-and asserts exactly that crossover.
+and asserts exactly that crossover.  A fourth discipline — *set* — is
+the batch rerouted through the server's truly set-oriented path (the
+binding-demux operator answers all bindings in one statement execution);
+it must beat the statement-fan-out batch in both regimes, since it pays
+the per-statement fixed cost once instead of N times, while still
+blocking the client exactly like any batch.
 """
 
 from __future__ import annotations
@@ -42,10 +47,11 @@ def run_comparison(iterations: int = 2000, threads: int = 20) -> FigureData:
     profile = replace(_scaled(SYS1), cpu_fixed_s=4e-3)
     figure = FigureData(
         figure_id="ablation-batching",
-        title=f"Blocking vs batched vs async ({iterations} iterations)",
-        x_label="x = regime*10 + discipline (0=blk 1=batch 2=async)",
+        title=f"Blocking vs batched vs async vs set ({iterations} iterations)",
+        x_label="x = regime*10 + discipline (0=blk 1=batch 2=async 3=set)",
         paper_reference="Intro: batching saves round trips; async also "
-        "overlaps client computation",
+        "overlaps client computation; set-oriented batching collapses "
+        "the batch to one statement",
     )
     db = rubis.build_database(profile)
     try:
@@ -64,11 +70,23 @@ def run_comparison(iterations: int = 2000, threads: int = 20) -> FigureData:
 
             def batched():
                 with db.connect(async_workers=1) as conn:
-                    batch = BatchExecutor(conn)
+                    # The paper's comparison point: one round trip, but
+                    # still one server statement per binding (fan-out).
+                    batch = BatchExecutor(conn, set_oriented=False)
                     results = batch.execute_batch(
                         rubis.AUTHOR_SQL, [(c[1],) for c in comments]
                     )
                     # client work strictly AFTER the blocking batch
+                    checksum = sum(client_work(pair) for pair in comments)
+                    return len(results) + checksum
+
+            def set_oriented():
+                with db.connect(async_workers=1) as conn:
+                    # One demuxed statement execution answers the batch.
+                    batch = BatchExecutor(conn)
+                    results = batch.execute_batch(
+                        rubis.AUTHOR_SQL, [(c[1],) for c in comments]
+                    )
                     checksum = sum(client_work(pair) for pair in comments)
                     return len(results) + checksum
 
@@ -86,7 +104,7 @@ def run_comparison(iterations: int = 2000, threads: int = 20) -> FigureData:
             expected = None
             for discipline_index, (label, runner) in enumerate(
                 (("blocking", blocking), ("batched", batched),
-                 ("async", asynchronous))
+                 ("async", asynchronous), ("set", set_oriented))
             ):
                 db.warm_table("users")
                 value, seconds = measure(runner)
@@ -115,6 +133,18 @@ def test_ablation_batching(benchmark):
     assert times[12] < times[11], (
         "async must overlap the heavy client work that batching "
         f"serializes (async {times[12]:.3f}s vs batched {times[11]:.3f}s)"
+    )
+    # Set-oriented batching must beat the statement-fan-out batch in
+    # both regimes: same single round trip, but the binding-demux
+    # operator pays the per-statement server cost once instead of N
+    # times.
+    assert times[3] < times[1], (
+        "set-oriented batch must beat the fan-out batch "
+        f"(set {times[3]:.3f}s vs batched {times[1]:.3f}s)"
+    )
+    assert times[13] < times[11], (
+        "set-oriented batch must beat the fan-out batch under heavy "
+        f"client work too (set {times[13]:.3f}s vs batched {times[11]:.3f}s)"
     )
 
 

@@ -99,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--coalesce", action="store_true",
+        help=(
+            "embed a set-oriented dispatch hint ('coalesce': True) in "
+            "the __repro_prefetch__ output: the runtime should open its "
+            "connections with coalesce=True, merging same-statement "
+            "submits queued behind the executor into single batched "
+            "server calls (off by default; requires --prefetch)"
+        ),
+    )
+    parser.add_argument(
+        "--coalesce-window", type=int, default=None, metavar="N",
+        help=(
+            "add 'coalesce_window': N to the hint — the maximum number "
+            "of outstanding same-statement submits merged into one "
+            "batch (requires --coalesce; N >= 2)"
+        ),
+    )
+    parser.add_argument(
         "--commuting-updates", action="store_true",
         help="declare execute_update calls commutative (Experiment 4)",
     )
@@ -128,6 +146,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"--cache-ttl must be > 0, got {args.cache_ttl}")
     if args.speculate and not args.prefetch:
         parser.error("--speculate requires --prefetch")
+    if args.coalesce and not args.prefetch:
+        parser.error("--coalesce requires --prefetch")
+    if args.coalesce_window is not None:
+        if not args.coalesce:
+            parser.error("--coalesce-window requires --coalesce")
+        if args.coalesce_window < 2:
+            parser.error(
+                f"--coalesce-window must be >= 2, got {args.coalesce_window}"
+            )
     if args.speculate_threshold is not None:
         if not args.speculate:
             parser.error("--speculate-threshold requires --speculate")
@@ -169,6 +196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache_ttl_s=args.cache_ttl,
                 speculate=args.speculate,
                 speculate_threshold=args.speculate_threshold,
+                coalesce=args.coalesce,
+                coalesce_window=args.coalesce_window,
             )
         else:
             result = asyncify_source(

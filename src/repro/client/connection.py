@@ -101,7 +101,12 @@ class Connection:
     paper's experiments.  ``result_cache`` attaches a shared
     :class:`~repro.prefetch.cache.ResultCache`; the pipeline registers
     it with the server, which invalidates it on every write — including
-    writes issued through *other* connections.
+    writes issued through *other* connections.  ``coalesce`` (off by
+    default) enables set-oriented dispatch: autocommit reads queued
+    behind the executor merge with other outstanding submits of the
+    same statement into one batched server call, ``coalesce_window``
+    bounding how many merge (default
+    :attr:`~repro.core.submission.DispatchCoalescer.DEFAULT_WINDOW`).
     """
 
     def __init__(
@@ -109,6 +114,8 @@ class Connection:
         server: DatabaseServer,
         async_workers: int = 10,
         result_cache: Optional[ResultCache] = None,
+        coalesce: bool = False,
+        coalesce_window: Optional[int] = None,
     ) -> None:
         self._server = server
         self._executor = AsyncExecutor(
@@ -117,7 +124,11 @@ class Connection:
             spawn_cost_s=server.profile.thread_spawn_s,
         )
         self._pipeline = SubmissionPipeline(
-            server, self._executor, cache=result_cache
+            server,
+            self._executor,
+            cache=result_cache,
+            coalesce=coalesce,
+            coalesce_window=coalesce_window,
         )
         self._closed = False
         self._txn: Optional[Transaction] = None
@@ -154,6 +165,16 @@ class Connection:
     def result_cache(self) -> Optional[ResultCache]:
         """The shared query-result cache, when one is attached."""
         return self._pipeline.cache
+
+    @property
+    def coalescing(self) -> bool:
+        """Is set-oriented dispatch (submit coalescing) enabled?"""
+        return self._pipeline.coalescer is not None
+
+    def site_stats(self):
+        """Per-call-site speculation ledger (hits/wastes keyed by site
+        label) — see :meth:`SubmissionPipeline.site_stats`."""
+        return self._pipeline.site_stats()
 
     # ------------------------------------------------------------------
     # preparation
@@ -199,7 +220,7 @@ class Connection:
         return self.submit_query(query, params)
 
     def speculate_query(
-        self, query: Query, params: Sequence = ()
+        self, query: Query, params: Sequence = (), site: Optional[str] = None
     ) -> SpeculativeHandle:
         """Speculative submit: issue a read whose consumer may never run.
 
@@ -209,9 +230,11 @@ class Connection:
         speculation hit), or drop it — unconsumed handles are abandoned
         and drained when the connection closes, and an abandoned or
         failed speculation never publishes a value to the result cache.
+        ``site`` labels the call site in the per-site speculation
+        ledger (:meth:`site_stats`); it defaults to the statement text.
         """
         self._ensure_open()
-        return self._pipeline.speculate(query, params, txn=self._txn)
+        return self._pipeline.speculate(query, params, txn=self._txn, site=site)
 
     def abandon(self, handle: SpeculativeHandle) -> bool:
         """Explicitly settle a speculative handle as wasted (optional;

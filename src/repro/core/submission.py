@@ -61,21 +61,48 @@ unguarded mode).  The contract:
   dropped handles never leak executor work past the connection's
   lifetime.
 
+**Set-oriented dispatch.**  With ``coalesce=True`` the pipeline routes
+autocommit reads through a :class:`DispatchCoalescer`: submits of the
+same prepared statement that are outstanding behind the executor —
+exactly what prefetch hoisting out of loops and bursts of speculative
+lifts produce — merge into one batched server call
+(:meth:`~repro.db.server.DatabaseServer.submit_prepared_batch`, the
+binding-demux operator) and the per-binding outcomes demultiplex back
+to the individual handles.  One round-trip charge and one statement
+execution answer the whole batch; a failing binding faults only its own
+handle; cache publication stays per ``(key, tables)`` under the same
+validity checks, and a coalesced speculation that settles as waste
+never publishes.  Transactional reads and writes always take the plain
+path.
+
 :class:`CallPipeline` is the transport-agnostic half (cache lookup,
 single-flight, dispatch, speculation ledger, stats);
 :class:`SubmissionPipeline` layers the SQL specifics (statement
-resolution, transaction rules, network charges) on top.  Both live here
-so cache-lookup logic exists in exactly one module.
+resolution, transaction rules, network charges, the optional
+coalescer) on top.  Both live here so cache-lookup logic exists in
+exactly one module.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..db.errors import DatabaseError, TransactionStateError
 from ..db.plan import QueryResult
@@ -109,6 +136,41 @@ class SubmissionStats:
     #: A sweep that misjudged a merely-slow consumer is corrected on the
     #: late fetch: the settle moves from here to ``speculation_hits``.
     speculation_wasted: int = 0
+    #: Set-oriented dispatch: batches the coalescer merged (two or more
+    #: same-statement submits answered by one server call) …
+    coalesced_batches: int = 0
+    #: … the submits those batches carried …
+    coalesced_queries: int = 0
+    #: … and the round trips that merging avoided (queries − batches).
+    round_trips_saved: int = 0
+
+
+@dataclass
+class SiteSpeculationStats:
+    """Per-call-site speculation ledger entry.
+
+    Keyed by the speculation's site label (the generated code's call
+    site, defaulting to the statement text).  This is the measurement
+    the ROADMAP's adaptive-speculation feedback loop needs: compare a
+    site's realized ``hit_rate`` against the cost model's breakeven
+    probability and stop speculating where the guess ran hot.
+    """
+
+    speculations: int = 0
+    hits: int = 0
+    wasted: int = 0
+
+    @property
+    def settled(self) -> int:
+        return self.hits + self.wasted
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Realized hit fraction over settled speculations (None until
+        at least one has settled)."""
+        if not self.settled:
+            return None
+        return self.hits / self.settled
 
 
 class SpeculativeHandle(QueryHandle):
@@ -121,7 +183,7 @@ class SpeculativeHandle(QueryHandle):
     :meth:`CallPipeline.drain_speculations`.
     """
 
-    __slots__ = ("_pipeline", "_cancellable", "_swept")
+    __slots__ = ("_pipeline", "_cancellable", "_swept", "_wasted")
 
     #: Class-level tag: lets front ends and tests recognize speculative
     #: handles without importing this module's internals.
@@ -140,6 +202,17 @@ class SpeculativeHandle(QueryHandle):
         #: Set when the high-water sweep settled this handle as wasted;
         #: a later claim corrects the ledger (see ``claim``).
         self._swept = False
+        #: Set while the handle stands settled as wasted (abandon or
+        #: sweep); cleared by a late claim's reclassification.  The
+        #: dispatch coalescer reads it at publication time: a coalesced
+        #: speculation that settled as waste never publishes its value
+        #: to the cache.
+        self._wasted = False
+
+    @property
+    def wasted(self) -> bool:
+        """Is this speculation currently settled as wasted?"""
+        return self._wasted
 
     @property
     def cancellable(self) -> bool:
@@ -200,6 +273,9 @@ class CallPipeline:
         #: Unsettled speculative handles (strong refs: a handle dropped
         #: by the application must still be abandonable by the drain).
         self._speculations: Set[SpeculativeHandle] = set()
+        #: Per-site speculation ledger, keyed by handle label (see
+        #: :class:`SiteSpeculationStats`); guarded by ``_spec_lock``.
+        self._site_ledger: Dict[str, SiteSpeculationStats] = {}
 
     #: Ledger high-water mark: past this many unsettled speculations,
     #: completed-but-unclaimed handles are swept as wasted so a
@@ -439,6 +515,25 @@ class CallPipeline:
                     pass
         return len(pending)
 
+    def site_stats(self) -> Dict[str, SiteSpeculationStats]:
+        """Snapshot of the per-site speculation ledger.
+
+        One entry per distinct speculation label; counters move in
+        lockstep with the pipeline-wide ``speculation_*`` stats (same
+        lock).  Read-only: the returned entries are copies.
+        """
+        with self._spec_lock:
+            return {
+                site: replace(entry)
+                for site, entry in self._site_ledger.items()
+            }
+
+    def _site_entry(self, handle: SpeculativeHandle) -> SiteSpeculationStats:
+        """This handle's ledger entry (caller holds ``_spec_lock``)."""
+        return self._site_ledger.setdefault(
+            handle.label, SiteSpeculationStats()
+        )
+
     def _track(self, handle: SpeculativeHandle) -> SpeculativeHandle:
         with self._spec_lock:
             # The dispatch counter moves with the ledger, under the same
@@ -446,6 +541,7 @@ class CallPipeline:
             # speculations == hits + wasted + unsettled never
             # transiently misreads under concurrent front ends.
             self.stats.speculations += 1
+            self._site_entry(handle).speculations += 1
             self._speculations.add(handle)
             excess = len(self._speculations) - self.SPECULATION_HIGH_WATER
             stale: list = []
@@ -479,14 +575,22 @@ class CallPipeline:
                     # consumer as absent; move the settle from waste to
                     # hit so SpeculationPolicy-relevant rates stay true.
                     handle._swept = False
+                    handle._wasted = False
                     self.stats.speculation_wasted -= 1
                     self.stats.speculation_hits += 1
+                    site = self._site_entry(handle)
+                    site.wasted -= 1
+                    site.hits += 1
                 return False  # already settled (fetch/abandon race)
             self._speculations.discard(handle)
+            site = self._site_entry(handle)
             if hit:
                 self.stats.speculation_hits += 1
+                site.hits += 1
             else:
                 self.stats.speculation_wasted += 1
+                site.wasted += 1
+                handle._wasted = True
                 if swept:
                     handle._swept = True
         if not hit and handle.cancellable:
@@ -514,6 +618,258 @@ class CallPipeline:
         return self._cache.acquire(key, tables)
 
 
+class _PendingDispatch:
+    """One enqueued submit awaiting a coalesced flush."""
+
+    __slots__ = ("bound", "future", "lease", "still_valid", "handle")
+
+    def __init__(self, bound, lease, still_valid) -> None:
+        self.bound = bound
+        self.future: "Future" = Future()
+        self.lease = lease
+        self.still_valid = still_valid
+        #: The SpeculativeHandle watching this entry, when the submit
+        #: was speculative; publication checks its waste state.
+        self.handle: Optional[SpeculativeHandle] = None
+
+
+class DispatchCoalescer:
+    """Set-oriented dispatch: merge outstanding same-statement submits
+    into one batched server call.
+
+    When several submits of the same prepared statement are queued
+    behind the executor — exactly what a prefetch pass hoisting a
+    submit loop, or a burst of speculative lifts, produces — executing
+    them one per worker pays N round trips and N per-statement server
+    costs.  The coalescer instead enqueues each submit as a pending
+    entry keyed by ``statement_id`` plus one *flusher* task; whichever
+    flusher runs first drains up to ``window`` entries and answers them
+    with a single :meth:`DatabaseServer.submit_prepared_batch` call
+    (one round-trip charge, one statement execution via the
+    binding-demux operator), demultiplexing per-binding outcomes back
+    to the individual handle futures.
+
+    Properties preserved from the plain dispatch path:
+
+    * **cache protocol** — every submit still runs the cache plan
+      first: hits and single-flight followers resolve immediately and
+      never reach the queue; owners carry their lease into the entry
+      and publish per ``(key, tables)`` with the same validity checks,
+      so a stale or failed binding never enters the cache;
+    * **fault isolation** — a binding that fails mid-batch fails only
+      its own handle (the server returns per-binding outcomes);
+    * **speculation semantics** — a coalesced speculation abandoned
+      while still queued is dropped from the batch outright (its lease,
+      if any, is failed so followers re-dispatch), and one that settles
+      as waste never publishes its value to the cache;
+    * **laziness** — no timers, no added latency: a submit that reaches
+      an idle worker dispatches alone; batches only form while workers
+      are busy, which is precisely when merging pays.
+
+    Only autocommit reads are coalesced; transactional reads and writes
+    take the plain path (their lock and invalidation semantics are
+    per-statement).
+    """
+
+    #: Default cap on bindings merged into one batch.
+    DEFAULT_WINDOW = 16
+
+    def __init__(
+        self, pipeline: "SubmissionPipeline", window: Optional[int] = None
+    ) -> None:
+        if window is None:
+            window = self.DEFAULT_WINDOW
+        if window < 2:
+            raise ValueError(f"coalesce window must be >= 2, got {window}")
+        self._pipeline = pipeline
+        self._window = window
+        self._lock = threading.Lock()
+        #: statement_id -> (prepared, FIFO of pending entries)
+        self._pending: Dict[int, Tuple[PreparedStatement, Deque[_PendingDispatch]]] = {}
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    # ------------------------------------------------------------------
+    # entry points (called by SubmissionPipeline for autocommit reads)
+    # ------------------------------------------------------------------
+    def submit(self, prepared: PreparedStatement, bound: tuple) -> QueryHandle:
+        calls = self._pipeline._calls
+        calls.stats.async_submits += 1
+        label = prepared.sql[:40]
+        entry, future = self._admit(prepared, bound)
+        if entry is None:
+            return QueryHandle(future, label=label)  # hit / follower
+        self._enqueue(prepared, entry)
+        return QueryHandle(entry.future, label=label)
+
+    def speculate(
+        self, prepared: PreparedStatement, bound: tuple, label: str
+    ) -> SpeculativeHandle:
+        calls = self._pipeline._calls
+        entry, future = self._admit(prepared, bound)
+        if entry is None:
+            return calls._track(
+                SpeculativeHandle(future, label=label, pipeline=calls)
+            )
+        handle = SpeculativeHandle(
+            entry.future,
+            label=label,
+            pipeline=calls,
+            # A queued lease-less entry is invisible to everyone else:
+            # abandoning it may cancel the future outright and the
+            # flusher will drop it from the batch.  A leased entry must
+            # run — single-flight followers may be real reads.
+            cancellable=(entry.lease is None),
+        )
+        entry.handle = handle
+        self._enqueue(prepared, entry)
+        return calls._track(handle)
+
+    # ------------------------------------------------------------------
+    # queueing
+    # ------------------------------------------------------------------
+    def _admit(self, prepared: PreparedStatement, bound: tuple):
+        """Run the cache plan; returns ``(entry, None)`` for a real
+        dispatch or ``(None, future)`` when a hit/follower resolves the
+        request without one."""
+        calls = self._pipeline._calls
+        key, tables, still_valid = self._pipeline._cache_plan(
+            prepared, bound, None
+        )
+        lease = calls._acquire(key, tables)
+        future = calls._lease_future(lease)
+        if future is not None:
+            return None, future
+        return _PendingDispatch(tuple(bound), lease, still_valid), None
+
+    def _enqueue(
+        self, prepared: PreparedStatement, entry: _PendingDispatch
+    ) -> None:
+        server = self._pipeline._server
+        # Every submit still pays the executor hand-off overhead in the
+        # submitting thread, exactly like the plain dispatch path.
+        server.meter.charge("queue", server.profile.send_overhead_s)
+        statement_id = prepared.statement_id
+        with self._lock:
+            group = self._pending.get(statement_id)
+            if group is None:
+                group = (prepared, deque())
+                self._pending[statement_id] = group
+            group[1].append(entry)
+        try:
+            self._pipeline.executor.submit(
+                lambda: self._flush(statement_id),
+                label=f"coalesce:{prepared.sql[:32]}",
+            )
+        except BaseException as exc:
+            # Mirror the plain path: never strand single-flight
+            # followers on a submission that could not be queued.  Only
+            # unwind if no concurrent flusher already claimed the entry.
+            if self._discard(statement_id, entry):
+                if entry.lease is not None:
+                    self._pipeline.cache.fail(entry.lease, exc)
+            raise
+
+    def _discard(self, statement_id: int, entry: _PendingDispatch) -> bool:
+        with self._lock:
+            group = self._pending.get(statement_id)
+            if group is None:
+                return False
+            try:
+                group[1].remove(entry)
+            except ValueError:
+                return False
+            if not group[1]:
+                del self._pending[statement_id]
+            return True
+
+    # ------------------------------------------------------------------
+    # flushing (runs on executor workers)
+    # ------------------------------------------------------------------
+    def _flush(self, statement_id: int) -> int:
+        prepared, batch = self._take(statement_id)
+        if batch:
+            self._execute(prepared, batch)
+        return len(batch)
+
+    def _take(self, statement_id: int):
+        with self._lock:
+            group = self._pending.get(statement_id)
+            if group is None:
+                return None, []
+            prepared, queue = group
+            count = min(len(queue), self._window)
+            batch = [queue.popleft() for _ in range(count)]
+            if not queue:
+                del self._pending[statement_id]
+            return prepared, batch
+
+    def _execute(
+        self, prepared: PreparedStatement, entries: List[_PendingDispatch]
+    ) -> None:
+        pipeline = self._pipeline
+        live: List[_PendingDispatch] = []
+        for entry in entries:
+            # PENDING -> RUNNING bars late cancellation, so completion
+            # below cannot race a cancel; a cancelled entry (abandoned
+            # queued speculation, or an explicit handle.cancel) drops
+            # out of the batch here.
+            if entry.future.set_running_or_notify_cancel():
+                live.append(entry)
+            elif entry.lease is not None:
+                # Never strand followers of a cancelled owner.
+                pipeline.cache.fail(entry.lease, CancelledError())
+        if not live:
+            return
+        if len(live) == 1:
+            entry = live[0]
+            try:
+                result = pipeline._round_trip(prepared, entry.bound, None)
+            except BaseException as exc:
+                self._fail(entry, exc)  # surfaces at the handle's fetch
+            else:
+                self._complete(entry, result)
+            return
+        stats = pipeline.stats
+        stats.coalesced_batches += 1
+        stats.coalesced_queries += len(live)
+        stats.round_trips_saved += len(live) - 1
+        server = pipeline._server
+        rtt = server.profile.network_rtt_s
+        if rtt:
+            server.meter.charge("network", rtt)  # ONE round trip, N queries
+        try:
+            outcomes = server.submit_prepared_batch(
+                prepared, [entry.bound for entry in live]
+            ).result()
+        except BaseException as exc:
+            for entry in live:
+                self._fail(entry, exc)
+            return
+        for entry, outcome in zip(live, outcomes):
+            if isinstance(outcome, BaseException):
+                self._fail(entry, outcome)
+            else:
+                self._complete(entry, outcome)
+
+    def _complete(self, entry: _PendingDispatch, result: Any) -> None:
+        if entry.lease is not None:
+            retain = entry.still_valid is None or entry.still_valid()
+            if entry.handle is not None and entry.handle.wasted:
+                # A speculation that settled as waste never publishes:
+                # followers are served, the value is not retained.
+                retain = False
+            self._pipeline.cache.complete(entry.lease, result, retain=retain)
+        entry.future.set_result(result)
+
+    def _fail(self, entry: _PendingDispatch, error: BaseException) -> None:
+        if entry.lease is not None:
+            self._pipeline.cache.fail(entry.lease, error)
+        entry.future.set_exception(error)
+
+
 class SubmissionPipeline:
     """The SQL submission pipeline over one :class:`DatabaseServer`.
 
@@ -529,11 +885,25 @@ class SubmissionPipeline:
         server: DatabaseServer,
         executor,
         cache: Optional[ResultCache] = None,
+        coalesce: bool = False,
+        coalesce_window: Optional[int] = None,
     ) -> None:
         self._server = server
         self._calls = CallPipeline(executor, cache)
+        #: Set-oriented dispatch (off by default): autocommit reads are
+        #: routed through a :class:`DispatchCoalescer` that merges
+        #: same-statement submits queued behind the executor into one
+        #: batched server call.
+        self._coalescer = (
+            DispatchCoalescer(self, window=coalesce_window) if coalesce else None
+        )
         if cache is not None:
             server.register_cache(cache)
+
+    @property
+    def coalescer(self) -> Optional[DispatchCoalescer]:
+        """The set-oriented dispatch coalescer, when enabled."""
+        return self._coalescer
 
     @property
     def server(self) -> DatabaseServer:
@@ -615,16 +985,28 @@ class SubmissionPipeline:
                 # at fetch_result, in iteration order.
                 self.stats.async_submits += 1
                 return failed_handle(exc)
+            if self._coalescer is not None and not is_write(prepared.ast):
+                # Set-oriented dispatch: autocommit reads may merge with
+                # other outstanding submits of the same statement.
+                return self._coalescer.submit(prepared, bound)
 
         return self._calls.dispatch(
             lambda: self._round_trip(prepared, bound, txn),
             **self._dispatch_args(prepared, bound, txn),
         )
 
-    def _dispatch_args(self, prepared: PreparedStatement, bound: tuple, txn):
+    def _dispatch_args(
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        txn,
+        label: Optional[str] = None,
+    ):
         """The shared dispatch wiring of :meth:`submit` and
         :meth:`speculate`: send-overhead charge, transaction in-flight
-        accounting, and the cache plan — one place, two entry points."""
+        accounting, and the cache plan — one place, two entry points.
+        ``label`` overrides the statement-text default (speculations
+        carry their call-site label, which keys the per-site ledger)."""
 
         def on_dispatch() -> None:
             self._server.meter.charge(
@@ -637,7 +1019,7 @@ class SubmissionPipeline:
         return dict(
             key=key,
             tables=tables,
-            label=prepared.sql[:40],
+            label=label if label is not None else prepared.sql[:40],
             on_dispatch=on_dispatch,
             cleanup=(txn.exit_async if txn is not None else None),
             still_valid=still_valid,
@@ -651,7 +1033,11 @@ class SubmissionPipeline:
     # speculation
     # ------------------------------------------------------------------
     def speculate(
-        self, query, params: Sequence = (), txn: Optional[Transaction] = None
+        self,
+        query,
+        params: Sequence = (),
+        txn: Optional[Transaction] = None,
+        site: Optional[str] = None,
     ) -> "SpeculativeHandle":
         """Speculative submit: a read whose consumer may never run.
 
@@ -659,6 +1045,8 @@ class SubmissionPipeline:
         executor dispatch, publication validity checks), but the handle
         is tagged and tracked until fetched (a *hit*) or abandoned (a
         *waste*) — see the module docstring's speculation contract.
+        ``site`` labels the call site for the per-site speculation
+        ledger (:meth:`site_stats`); it defaults to the statement text.
 
         Writes are rejected outright: speculatively executing a write
         would change database state the original program might never
@@ -672,16 +1060,24 @@ class SubmissionPipeline:
         except Exception as exc:
             # Mirror submit's observer-model contract: resolution
             # problems surface at fetch time (or vanish if abandoned).
-            return self._calls.speculate_failed(exc)
+            return self._calls.speculate_failed(exc, label=site or "")
         if is_write(prepared.ast):
             raise DatabaseError(
                 "refusing to speculate a write statement; speculation is "
                 "read-only by contract"
             )
+        label = site if site is not None else prepared.sql[:40]
+        if self._coalescer is not None and txn is None:
+            return self._coalescer.speculate(prepared, bound, label)
         return self._calls.speculate(
             lambda: self._round_trip(prepared, bound, txn),
-            **self._dispatch_args(prepared, bound, txn),
+            **self._dispatch_args(prepared, bound, txn, label=label),
         )
+
+    def site_stats(self) -> Dict[str, SiteSpeculationStats]:
+        """Per-call-site speculation ledger (see
+        :meth:`CallPipeline.site_stats`)."""
+        return self._calls.site_stats()
 
     def abandon(self, handle: "SpeculativeHandle") -> bool:
         """Settle a speculative handle as wasted (idempotent)."""

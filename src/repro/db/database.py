@@ -106,7 +106,13 @@ class Database:
     # ------------------------------------------------------------------
     # connections
     # ------------------------------------------------------------------
-    def connect(self, async_workers: int = 10, result_cache=None):
+    def connect(
+        self,
+        async_workers: int = 10,
+        result_cache=None,
+        coalesce: bool = False,
+        coalesce_window=None,
+    ):
         """Open a client connection (imported lazily to avoid a cycle).
 
         ``result_cache`` attaches a shared
@@ -116,12 +122,18 @@ class Database:
         requests and runtimes.  The connection's submission pipeline
         registers the cache with the server, so a write through *any*
         connection — cached, cache-less, or transactional — invalidates
-        it.
+        it.  ``coalesce`` enables set-oriented dispatch (merge
+        same-statement submits queued behind the executor into one
+        batched server call); ``coalesce_window`` caps the batch size.
         """
         from ..client.connection import Connection
 
         return Connection(
-            self.server, async_workers=async_workers, result_cache=result_cache
+            self.server,
+            async_workers=async_workers,
+            result_cache=result_cache,
+            coalesce=coalesce,
+            coalesce_window=coalesce_window,
         )
 
     def register_cache(self, cache) -> None:

@@ -6,7 +6,15 @@ costs through the execution context.
 """
 
 from .context import ExecutionContext
+from .demux import BindingOutcome, demuxable, execute_batch_select
 from .planner import Planner
 from .result import QueryResult
 
-__all__ = ["ExecutionContext", "Planner", "QueryResult"]
+__all__ = [
+    "BindingOutcome",
+    "ExecutionContext",
+    "Planner",
+    "QueryResult",
+    "demuxable",
+    "execute_batch_select",
+]

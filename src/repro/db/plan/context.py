@@ -50,6 +50,29 @@ class ExecutionContext:
             self.meter.charge("cpu", self._cpu_accum_s)
             self._cpu_accum_s = 0.0
 
+    def absorb_cpu(self, other: "ExecutionContext") -> None:
+        """Fold ``other``'s accumulated CPU into this context.
+
+        The batch-demux operator evaluates per-binding work on
+        sub-contexts (each carries its binding's params) but the server
+        flushes only the batch context — one sleep for the whole batch.
+        """
+        self._cpu_accum_s += other._cpu_accum_s
+        other._cpu_accum_s = 0.0
+
+    def derive(self, params: Sequence) -> "ExecutionContext":
+        """A sub-context sharing every resource but carrying ``params``
+        (the batch-demux operator's per-binding evaluation context)."""
+        return ExecutionContext(
+            catalog=self.catalog,
+            buffer=self.buffer,
+            scans=self.scans,
+            profile=self.profile,
+            meter=self.meter,
+            params=params,
+            txn=self.txn,
+        )
+
     def touch_page(self, io_name: str, page_no: int) -> bool:
         """Access one page through the buffer pool; True on hit."""
         return self.buffer.access(io_name, page_no)

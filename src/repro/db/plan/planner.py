@@ -204,24 +204,34 @@ class SelectPlan:
     def execute(self, ctx: ExecutionContext) -> QueryResult:
         _check_params(self._stmt.param_count, ctx.params)
         ctx.charge_cpu(fixed=True)
-        stmt = self._stmt
         info = self._info
         with info.heap.lock.reading():
             rows = self._access.run(ctx)
-            rows = apply_filter(ctx, info, rows, stmt.where)
-            if stmt.group_by:
-                columns, output = aggregate_grouped(
-                    ctx, info, rows, stmt.items, stmt.group_by
-                )
-                output = order_output_rows(columns, output, stmt.order_by)
-                output = _limit_output(ctx, info, output, stmt.limit)
-                return QueryResult(columns=columns, rows=output)
-            if stmt.is_aggregate:
-                columns, output = aggregate(ctx, info, rows, stmt.items)
-                return QueryResult(columns=columns, rows=output)
-            rows = apply_order(info, rows, stmt.order_by)
-            rows = apply_limit(ctx, info, rows, stmt.limit)
-            columns, output = project(ctx, info, rows, stmt.items, stmt.distinct)
+            return self._finalize(ctx, rows)
+
+    def _finalize(self, ctx: ExecutionContext, rows) -> QueryResult:
+        """Everything after the access path: filter, aggregate/group,
+        order, limit, project.  Runs under the heap's read lock.  Also
+        the per-binding tail of the batch-demux operator
+        (:mod:`repro.db.plan.demux`), which runs the access once and
+        finalizes each binding set on its own parameter context.
+        """
+        stmt = self._stmt
+        info = self._info
+        rows = apply_filter(ctx, info, rows, stmt.where)
+        if stmt.group_by:
+            columns, output = aggregate_grouped(
+                ctx, info, rows, stmt.items, stmt.group_by
+            )
+            output = order_output_rows(columns, output, stmt.order_by)
+            output = _limit_output(ctx, info, output, stmt.limit)
+            return QueryResult(columns=columns, rows=output)
+        if stmt.is_aggregate:
+            columns, output = aggregate(ctx, info, rows, stmt.items)
+            return QueryResult(columns=columns, rows=output)
+        rows = apply_order(info, rows, stmt.order_by)
+        rows = apply_limit(ctx, info, rows, stmt.limit)
+        columns, output = project(ctx, info, rows, stmt.items, stmt.distinct)
         return QueryResult(columns=columns, rows=output)
 
 

@@ -12,15 +12,23 @@ from __future__ import annotations
 import itertools
 import threading
 import weakref
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .buffer import BufferPool
 from .catalog import Catalog
 from .errors import ServerShutdownError, StatementHandleError
 from .latency import LatencyMeter, LatencyProfile
-from .plan import ExecutionContext, Planner, QueryResult
+from .plan import (
+    BindingOutcome,
+    ExecutionContext,
+    Planner,
+    QueryResult,
+    demuxable,
+    execute_batch_select,
+)
 from .scans import SharedScanManager
 from .sql import parse
 from .sql.ast_nodes import CreateIndexStmt, CreateTableStmt, Statement, is_write
@@ -33,6 +41,16 @@ class ServerStats:
     writes_executed: int = 0
     peak_concurrency: int = 0
     statements_prepared: int = 0
+    #: Set-oriented batch calls that took the demux path (one statement
+    #: execution answered the whole batch).
+    batched_calls: int = 0
+    #: Total binding sets answered by those demuxed calls.
+    batched_bindings: int = 0
+    #: Per-statement passes the demux path avoided: each batched call
+    #: pays one scan/statement instead of one per binding.
+    scans_saved: int = 0
+    #: Prepared statements swept from the bounded plan cache (LRU).
+    evictions: int = 0
 
 
 class PreparedStatement:
@@ -51,6 +69,12 @@ class PreparedStatement:
 class DatabaseServer:
     """Executes SQL against one catalog with simulated costs."""
 
+    #: Default cap on the prepared-statement cache.  Generous: a real
+    #: application's distinct statement texts number in the hundreds;
+    #: the cap exists so a query-text generator (or an ORM emitting
+    #: literals) cannot grow server memory without bound.
+    DEFAULT_MAX_PREPARED = 512
+
     def __init__(
         self,
         catalog: Catalog,
@@ -58,7 +82,10 @@ class DatabaseServer:
         scans: SharedScanManager,
         profile: LatencyProfile,
         meter: LatencyMeter,
+        max_prepared: int = DEFAULT_MAX_PREPARED,
     ) -> None:
+        if max_prepared < 1:
+            raise ValueError(f"max_prepared must be >= 1, got {max_prepared}")
         self._catalog = catalog
         self._buffer = buffer
         self._scans = scans
@@ -70,8 +97,9 @@ class DatabaseServer:
             thread_name_prefix=f"dbworker-{profile.name}",
         )
         self._lock = threading.Lock()
+        self.max_prepared = max_prepared
         self._prepared: Dict[int, PreparedStatement] = {}
-        self._plan_cache: Dict[str, PreparedStatement] = {}
+        self._plan_cache: "OrderedDict[str, PreparedStatement]" = OrderedDict()
         self._statement_ids = itertools.count(1)
         self._catalog_version = 0
         self._active = 0
@@ -115,20 +143,45 @@ class DatabaseServer:
         return self._meter
 
     def prepare(self, sql: str) -> PreparedStatement:
-        """Parse and plan ``sql``, caching by text."""
+        """Parse and plan ``sql``, caching by text.
+
+        The cache is a bounded LRU (``max_prepared``): preparing past
+        the cap sweeps the least-recently-used entries and counts an
+        eviction.  Eviction never invalidates a handed-out
+        :class:`PreparedStatement` — the object carries its own plan, so
+        ``submit_prepared`` keeps working on a swept statement; only a
+        later ``prepare`` of the same text pays a re-plan.
+        """
         with self._lock:
             cached = self._plan_cache.get(sql)
             if cached is not None and cached.catalog_version == self._catalog_version:
+                self._plan_cache.move_to_end(sql)
                 return cached
         ast = parse(sql)
         plan = self._planner.plan(ast)
         with self._lock:
+            previous = self._plan_cache.get(sql)
+            if previous is not None:
+                if previous.catalog_version == self._catalog_version:
+                    # A concurrent prepare of the same text won the
+                    # race while we were planning: keep its entry (and
+                    # its already handed-out statement_id), drop ours.
+                    self._plan_cache.move_to_end(sql)
+                    return previous
+                # Stale (catalog changed): the replaced entry's id slot
+                # goes with it; the old object stays usable by holders.
+                self._prepared.pop(previous.statement_id, None)
             prepared = PreparedStatement(
                 next(self._statement_ids), sql, ast, plan, self._catalog_version
             )
             self._prepared[prepared.statement_id] = prepared
             self._plan_cache[sql] = prepared
+            self._plan_cache.move_to_end(sql)
             self.stats.statements_prepared += 1
+            while len(self._plan_cache) > self.max_prepared:
+                _sql, evicted = self._plan_cache.popitem(last=False)
+                self._prepared.pop(evicted.statement_id, None)
+                self.stats.evictions += 1
         return prepared
 
     def prepared(self, statement_id: int) -> PreparedStatement:
@@ -250,6 +303,36 @@ class DatabaseServer:
                 raise ServerShutdownError("server is shut down")
         return self._pool.submit(self._run_prepared, prepared, tuple(params), txn)
 
+    def submit_prepared_batch(
+        self,
+        prepared: PreparedStatement,
+        bindings: Sequence[Sequence],
+        txn: Optional[Transaction] = None,
+    ) -> "Future[List[BindingOutcome]]":
+        """Set-oriented execution: one statement over N binding sets.
+
+        For a demuxable plan (any SELECT) the whole batch is answered by
+        a *single* statement execution — one lock acquisition, one fixed
+        CPU charge, one scan (or one index probe per distinct binding) —
+        via the binding-demultiplex operator
+        (:mod:`repro.db.plan.demux`); ``ServerStats`` counts it under
+        ``batched_calls`` / ``batched_bindings`` / ``scans_saved``.
+        Non-demuxable statements (writes, DDL) fall back to per-binding
+        execution with full per-statement semantics, including write
+        invalidation broadcasts.
+
+        The future resolves to one outcome per binding, in order: the
+        binding's :class:`QueryResult`, or the exception that binding
+        raised — a bad binding faults only its own slot, never the
+        batch.  No network charge is made here; the client (or the
+        dispatch coalescer) pays one round trip for the whole batch.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ServerShutdownError("server is shut down")
+        snapshot = [tuple(binding) for binding in bindings]
+        return self._pool.submit(self._run_prepared_batch, prepared, snapshot, txn)
+
     def execute(
         self,
         sql: str,
@@ -330,6 +413,57 @@ class DatabaseServer:
                 # overlap the open write window out of the cache.
                 self.broadcast_invalidation(table)
             return result
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def _run_prepared_batch(
+        self,
+        prepared: PreparedStatement,
+        bindings: List[tuple],
+        txn: Optional[Transaction] = None,
+    ) -> List[BindingOutcome]:
+        if not bindings:
+            return []
+        with self._lock:
+            stale = prepared.catalog_version != self._catalog_version
+        if stale:
+            prepared = self.prepare(prepared.sql)
+        if not demuxable(prepared.plan):
+            # Per-binding fallback: each binding keeps the exact
+            # single-statement semantics (stats, locks, invalidation
+            # broadcasts, undo recording) — only the transport batched.
+            outcomes: List[BindingOutcome] = []
+            for binding in bindings:
+                try:
+                    outcomes.append(self._run_prepared(prepared, binding, txn))
+                except Exception as exc:
+                    outcomes.append(exc)
+            return outcomes
+        if txn is not None:
+            self._lock_for_txn(txn, prepared.ast)
+        with self._lock:
+            self._active += 1
+            if self._active > self.stats.peak_concurrency:
+                self.stats.peak_concurrency = self._active
+        try:
+            ctx = ExecutionContext(
+                catalog=self._catalog,
+                buffer=self._buffer,
+                scans=self._scans,
+                profile=self._profile,
+                meter=self._meter,
+                params=(),
+                txn=txn,
+            )
+            outcomes = execute_batch_select(prepared.plan, ctx, bindings)
+            ctx.flush_cpu()
+            with self._lock:
+                self.stats.statements_executed += 1
+                self.stats.batched_calls += 1
+                self.stats.batched_bindings += len(bindings)
+                self.stats.scans_saved += len(bindings) - 1
+            return outcomes
         finally:
             with self._lock:
                 self._active -= 1

@@ -641,6 +641,8 @@ def prefetch_source(
     speculate: bool = False,
     speculate_threshold: Optional[float] = None,
     speculation: Optional["SpeculationPolicy"] = None,
+    coalesce: bool = False,
+    coalesce_window: Optional[int] = None,
 ):
     """Transform ``source`` with the full pipeline *plus* prefetch
     insertion — the companion of :func:`repro.transform.asyncify_source`.
@@ -658,6 +660,13 @@ def prefetch_source(
     policy is built when omitted).  ``speculate_threshold`` overrides
     the policy's minimum hit probability — the CLI's
     ``--speculate-threshold``.
+
+    ``coalesce`` (and optionally ``coalesce_window``) adds a
+    set-oriented dispatch hint to ``__repro_prefetch__``: the
+    transformed code's burst of hoisted submits is exactly what the
+    runtime's dispatch coalescer merges into batched server calls, so
+    the hint recommends opening connections with ``coalesce=True`` (and
+    the given window).
     """
     from ..transform.asyncify import asyncify_source
 
@@ -691,6 +700,16 @@ def prefetch_source(
         if cache_ttl_s <= 0:
             raise ValueError(f"cache_ttl_s must be > 0, got {cache_ttl_s}")
         hints["ttl_s"] = float(cache_ttl_s)
+    if coalesce_window is not None and not coalesce:
+        raise ValueError("coalesce_window requires coalesce=True")
+    if coalesce:
+        hints["coalesce"] = True
+        if coalesce_window is not None:
+            if coalesce_window < 2:
+                raise ValueError(
+                    f"coalesce_window must be >= 2, got {coalesce_window}"
+                )
+            hints["coalesce_window"] = int(coalesce_window)
     if hints:
         result.source = f"__repro_prefetch__ = {hints!r}\n{result.source}"
     return result

@@ -246,15 +246,18 @@ class AioConnection:
 
     submit_update = submit_query
 
-    def speculate_query(self, query, params: Sequence = ()) -> AioSpeculativeHandle:
+    def speculate_query(
+        self, query, params: Sequence = (), site: Optional[str] = None
+    ) -> AioSpeculativeHandle:
         """Speculative submit (see ``Connection.speculate_query``).
 
         Awaiting the returned handle consumes the speculation (a hit);
         an unawaited handle is abandoned when the connection closes.
-        Must be called from a running event loop.
+        ``site`` labels the call site in the per-site speculation
+        ledger.  Must be called from a running event loop.
         """
         loop = asyncio.get_running_loop()  # before any side effect
-        handle = self._connection.speculate_query(query, list(params))
+        handle = self._connection.speculate_query(query, list(params), site=site)
         return AioSpeculativeHandle(
             self._wrap(handle, loop), handle, label=handle.label
         )
@@ -335,16 +338,31 @@ class AioWebClient:
         self._executor.close()
 
 
-def aio_connect(database, max_in_flight: int = 10, result_cache=None) -> AioConnection:
+def aio_connect(
+    database,
+    max_in_flight: int = 10,
+    result_cache=None,
+    coalesce: bool = False,
+    coalesce_window: Optional[int] = None,
+) -> AioConnection:
     """Open an :class:`AioConnection` on a :class:`repro.db.Database`.
 
     ``result_cache`` attaches a shared
     :class:`~repro.prefetch.cache.ResultCache` exactly as
     ``Database.connect`` does — the pipeline registers it with the
-    server for write-driven invalidation.
+    server for write-driven invalidation.  ``coalesce`` /
+    ``coalesce_window`` enable set-oriented dispatch on the wrapped
+    connection's pipeline: coroutine submits queued behind the worker
+    pool merge into batched server calls exactly as sync submits do
+    (one coalescer, shared by both front ends).
     """
     return AioConnection(
-        database.connect(async_workers=max_in_flight, result_cache=result_cache)
+        database.connect(
+            async_workers=max_in_flight,
+            result_cache=result_cache,
+            coalesce=coalesce,
+            coalesce_window=coalesce_window,
+        )
     )
 
 

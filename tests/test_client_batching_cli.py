@@ -45,7 +45,28 @@ class TestBatchExecutor:
         assert (
             conn.execute_query("SELECT count(*) FROM t WHERE grp = 9").scalar() == 3
         )
+        # Writes keep the fan-out shape (they are not demuxable, and
+        # funneling them through the batch path would serialize them on
+        # one server worker): never counted as a set batch.
+        assert batch.stats.set_batches == 0
         conn.close()
+
+    def test_unhashable_param_matches_plain_execution(self):
+        # Seq-scan plan (no index): an unhashable parameter cannot use
+        # the demux bucket index, but must still answer exactly like
+        # per-statement execution instead of faulting its binding.
+        db = Database(INSTANT)
+        db.create_table("t", ("a", "int"), ("grp", "int"))
+        db.bulk_load("t", [(i, i % 4) for i in range(40)])
+        conn = db.connect()
+        batch = BatchExecutor(conn)
+        sql = "SELECT count(*) FROM t WHERE grp = ?"
+        plain = conn.execute_query(sql, [[1]])
+        results = batch.execute_batch(sql, [([1],), (1,)])
+        assert results[0].scalar() == plain.scalar() == 0
+        assert results[1].scalar() == 10
+        conn.close()
+        db.close()
 
     def _tiny_latency_db(self):
         from repro.db import SYS1
@@ -54,6 +75,43 @@ class TestBatchExecutor:
         db.create_table("t", ("a", "int"), ("grp", "int"))
         db.bulk_load("t", [(i, i % 4) for i in range(40)])
         return db
+
+    def test_batch_is_exactly_one_scan(self):
+        """N equality bindings on a demuxable plan = ONE statement
+        execution, ONE scan — the set-oriented path's core promise."""
+        db = Database(INSTANT)
+        db.create_table("t", ("a", "int"), ("grp", "int"))
+        db.bulk_load("t", [(i, i % 4) for i in range(40)])  # no index: seq plan
+        conn = db.connect()
+        batch = BatchExecutor(conn)
+        stats = db.server.stats
+        before = stats.statements_executed
+        db.scans.reset_stats()
+        results = batch.execute_batch(
+            "SELECT count(*) FROM t WHERE grp = ?", [(g,) for g in range(4)]
+        )
+        assert [r.scalar() for r in results] == [10, 10, 10, 10]
+        assert stats.statements_executed == before + 1
+        assert stats.batched_calls == 1
+        assert stats.batched_bindings == 4
+        assert stats.scans_saved == 3
+        assert db.scans.stats.led + db.scans.stats.solo == 1  # one real scan
+        assert batch.stats.set_batches == 1
+        conn.close()
+        db.close()
+
+    def test_fanout_mode_keeps_per_binding_statements(self, loaded):
+        conn = loaded.connect()
+        batch = BatchExecutor(conn, set_oriented=False)
+        stats = loaded.server.stats
+        before = stats.statements_executed
+        results = batch.execute_batch(
+            "SELECT count(*) FROM t WHERE grp = ?", [(g,) for g in range(4)]
+        )
+        assert [r.scalar() for r in results] == [10, 10, 10, 10]
+        assert stats.statements_executed == before + 4
+        assert batch.stats.set_batches == 0
+        conn.close()
 
     def test_one_round_trip_per_batch(self):
         db = self._tiny_latency_db()
@@ -199,6 +257,37 @@ class TestCli:
         proc = run_cli([str(path)])
         assert proc.returncode == 0
         assert "submit_query" not in proc.stdout
+
+    def test_coalesce_flags_embed_hint(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli(
+            [str(path), "--prefetch", "--coalesce", "--coalesce-window", "8"]
+        )
+        assert proc.returncode == 0
+        assert "__repro_prefetch__" in proc.stdout
+        assert "'coalesce': True" in proc.stdout
+        assert "'coalesce_window': 8" in proc.stdout
+
+    def test_coalesce_requires_prefetch(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--coalesce"])
+        assert proc.returncode == 2
+
+    def test_coalesce_window_requires_coalesce(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli([str(path), "--prefetch", "--coalesce-window", "8"])
+        assert proc.returncode == 2
+
+    def test_coalesce_window_must_be_at_least_two(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(SAMPLE)
+        proc = run_cli(
+            [str(path), "--prefetch", "--coalesce", "--coalesce-window", "1"]
+        )
+        assert proc.returncode == 2
 
     def test_missing_file(self):
         proc = run_cli(["/nonexistent/nope.py"])

@@ -1,0 +1,348 @@
+"""Set-oriented dispatch: the submit coalescer and its failure paths."""
+
+import threading
+from concurrent.futures import CancelledError, wait
+
+import pytest
+
+from repro.db import Database, INSTANT
+from repro.db.errors import ParamCountError
+from repro.prefetch.cache import ResultCache
+
+SQL = "SELECT count(*) FROM t WHERE grp = ?"
+ROW_SQL = "SELECT a FROM t WHERE grp = ? ORDER BY a"
+
+
+@pytest.fixture
+def grouped(db):
+    db.create_table("t", ("a", "int"), ("grp", "int"))
+    db.bulk_load("t", [(i, i % 4) for i in range(40)])
+    return db
+
+
+def hold_worker(conn):
+    """Occupy the connection's (single) async worker; returns the
+    release event.  Submits issued while held pile up behind the
+    executor — the exact regime the coalescer exploits."""
+    gate = threading.Event()
+    conn.executor.submit(gate.wait)
+    return gate
+
+
+class TestCoalescing:
+    def test_outstanding_submits_merge_into_one_batch(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(conn)
+        handles = [conn.submit_query(SQL, [g % 4]) for g in range(8)]
+        gate.set()
+        assert [conn.fetch_result(h).scalar() for h in handles] == [10] * 8
+        stats = conn.stats
+        assert stats.coalesced_batches == 1
+        assert stats.coalesced_queries == 8
+        assert stats.round_trips_saved == 7
+        assert grouped.server.stats.batched_calls == 1
+        conn.close()
+
+    def test_results_match_plain_dispatch(self, grouped):
+        plain = grouped.connect(async_workers=2)
+        merged = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(merged)
+        bindings = [0, 3, 1, 3, 2]
+        coalesced_handles = [merged.submit_query(ROW_SQL, [g]) for g in bindings]
+        gate.set()
+        for g, handle in zip(bindings, coalesced_handles):
+            expected = plain.execute_query(ROW_SQL, [g])
+            got = merged.fetch_result(handle)
+            assert list(got) == list(expected)
+            assert got.columns == expected.columns
+        plain.close()
+        merged.close()
+
+    def test_window_caps_batch_size(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True, coalesce_window=3)
+        gate = hold_worker(conn)
+        handles = [conn.submit_query(SQL, [g % 4]) for g in range(7)]
+        gate.set()
+        assert [conn.fetch_result(h).scalar() for h in handles] == [10] * 7
+        stats = conn.stats
+        assert stats.coalesced_queries <= stats.coalesced_batches * 3
+        conn.close()
+
+    def test_invalid_window_rejected(self, grouped):
+        with pytest.raises(ValueError):
+            grouped.connect(coalesce=True, coalesce_window=1)
+
+    def test_idle_submit_dispatches_alone(self, grouped):
+        """No queue pressure, no batch: a lone submit takes the plain
+        single round trip inside the flusher."""
+        conn = grouped.connect(async_workers=2, coalesce=True)
+        handle = conn.submit_query(SQL, [0])
+        assert conn.fetch_result(handle).scalar() == 10
+        assert conn.stats.coalesced_batches == 0
+        conn.close()
+
+    def test_different_statements_batch_separately(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(conn)
+        counts = [conn.submit_query(SQL, [g]) for g in (0, 1)]
+        rows = [conn.submit_query(ROW_SQL, [g]) for g in (0, 1)]
+        gate.set()
+        assert [conn.fetch_result(h).scalar() for h in counts] == [10, 10]
+        assert [len(conn.fetch_result(h)) for h in rows] == [10, 10]
+        # Two statements, two batches — never mixed.
+        assert conn.stats.coalesced_batches == 2
+        assert grouped.server.stats.batched_calls == 2
+        conn.close()
+
+    def test_writes_are_never_coalesced(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(conn)
+        handles = [
+            conn.submit_update("INSERT INTO t (a, grp) VALUES (?, ?)", [100 + n, 9])
+            for n in range(3)
+        ]
+        gate.set()
+        assert [conn.fetch_result(h).rowcount for h in handles] == [1, 1, 1]
+        assert conn.stats.coalesced_batches == 0
+        assert grouped.server.stats.batched_calls == 0
+        conn.close()
+
+
+class TestFaultIsolation:
+    def test_bad_binding_faults_only_its_handle(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(conn)
+        good1 = conn.submit_query(SQL, [0])
+        bad = conn.submit_query(SQL, [1, 2])
+        good2 = conn.submit_query(SQL, [2])
+        gate.set()
+        assert conn.fetch_result(good1).scalar() == 10
+        with pytest.raises(ParamCountError):
+            conn.fetch_result(bad)
+        assert conn.fetch_result(good2).scalar() == 10
+        # All three still travelled in one batch.
+        assert conn.stats.coalesced_batches == 1
+        assert conn.stats.coalesced_queries == 3
+        conn.close()
+
+    def test_failed_binding_never_publishes_to_cache(self, grouped):
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        gate = hold_worker(conn)
+        good = conn.submit_query(SQL, [0])
+        bad = conn.submit_query(SQL, [1, 2])
+        gate.set()
+        assert conn.fetch_result(good).scalar() == 10
+        with pytest.raises(ParamCountError):
+            conn.fetch_result(bad)
+        assert (SQL, (0,)) in cache
+        assert (SQL, (1, 2)) not in cache
+        conn.close()
+
+    def test_coalesced_fill_serves_later_reads(self, grouped):
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        gate = hold_worker(conn)
+        handles = [conn.submit_query(SQL, [g]) for g in (0, 1, 2)]
+        gate.set()
+        for h in handles:
+            conn.fetch_result(h)
+        hits_before = conn.stats.cache_hits
+        assert conn.execute_query(SQL, [1]).scalar() == 10
+        assert conn.stats.cache_hits == hits_before + 1
+        conn.close()
+
+    def test_duplicate_submits_single_flight_before_the_queue(self, grouped):
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        gate = hold_worker(conn)
+        first = conn.submit_query(SQL, [0])
+        second = conn.submit_query(SQL, [0])  # follower joins the lease
+        gate.set()
+        assert conn.fetch_result(first).scalar() == 10
+        assert conn.fetch_result(second).scalar() == 10
+        assert conn.stats.cache_hits == 1
+        # Only the owner entered the queue: nothing to merge.
+        assert conn.stats.coalesced_batches == 0
+        conn.close()
+
+
+class TestSpeculationInteraction:
+    def test_queued_leaseless_speculation_abandons_outright(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)  # no cache
+        gate = hold_worker(conn)
+        executed_before = grouped.server.stats.statements_executed
+        handle = conn.speculate_query(SQL, [0])
+        assert handle.abandon()
+        gate.set()
+        conn.close()  # drains; the cancelled entry was dropped unexecuted
+        assert handle.future.cancelled()
+        assert grouped.server.stats.statements_executed == executed_before
+        assert conn.stats.speculation_wasted == 1
+
+    def test_wasted_speculation_never_publishes_to_cache(self, grouped):
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        gate = hold_worker(conn)
+        handle = conn.speculate_query(SQL, [3])
+        real = conn.submit_query(SQL, [1])  # rides in the same batch
+        assert handle.abandon()  # leased: stays in the batch, runs…
+        gate.set()
+        assert conn.fetch_result(real).scalar() == 10
+        wait([handle.future], timeout=5)
+        # …but its settled-as-waste value is not retained.
+        assert (SQL, (3,)) not in cache
+        assert (SQL, (1,)) in cache
+        assert conn.stats.coalesced_batches == 1
+        conn.close()
+
+    def test_fetched_coalesced_speculation_counts_a_hit(self, grouped):
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        gate = hold_worker(conn)
+        handle = conn.speculate_query(SQL, [2])
+        gate.set()
+        assert conn.fetch_result(handle).scalar() == 10
+        assert conn.stats.speculation_hits == 1
+        # A consumed speculation's value is a legitimate fill.
+        assert (SQL, (2,)) in cache
+        conn.close()
+
+    def test_close_drains_coalesced_speculations(self, grouped):
+        conn = grouped.connect(async_workers=1, coalesce=True)
+        gate = hold_worker(conn)
+        conn.speculate_query(SQL, [0])
+        conn.speculate_query(SQL, [1])
+        gate.set()
+        conn.close()
+        stats = conn.stats
+        assert stats.speculations == 2
+        assert stats.speculation_hits + stats.speculation_wasted == 2
+
+
+class TestTransactionInteraction:
+    def test_transactional_reads_bypass_the_coalescer(self, grouped):
+        conn = grouped.connect(async_workers=2, coalesce=True)
+        txn = conn.begin()
+        handles = [conn.submit_query(SQL, [g]) for g in (0, 1)]
+        assert [conn.fetch_result(h).scalar() for h in handles] == [10, 10]
+        assert conn.stats.coalesced_batches == 0
+        assert conn.stats.coalesced_queries == 0
+        conn.commit()
+        conn.close()
+
+    def test_coalesced_read_overlapping_open_txn_is_not_cached(self, grouped):
+        cache = ResultCache(64)
+        writer = grouped.connect(async_workers=1)
+        reader = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        writer.begin()
+        writer.execute_update("UPDATE t SET a = 999 WHERE grp = 0")
+        gate = hold_worker(reader)
+        handles = [reader.submit_query(SQL, [g]) for g in (0, 1)]
+        gate.set()
+        for h in handles:
+            reader.fetch_result(h)
+        # Uncommitted foreign write: nothing may be retained.
+        assert len(cache) == 0
+        writer.rollback()
+        writer.close()
+        reader.close()
+
+    def test_batched_updates_keep_commit_time_invalidation(self, grouped):
+        """PR 2 semantics through the set-oriented batch path: an
+        autocommit batched write invalidates registered caches at once;
+        a transactional blocking write invalidates only at commit."""
+        from repro.client.batching import BatchExecutor
+
+        cache = ResultCache(64)
+        conn = grouped.connect(async_workers=1, coalesce=True, result_cache=cache)
+        assert conn.execute_query(SQL, [0]).scalar() == 10
+        assert (SQL, (0,)) in cache
+        batch = BatchExecutor(conn)
+        batch.execute_batched_updates(
+            "INSERT INTO t (a, grp) VALUES (?, ?)", [(400, 0), (401, 0)]
+        )
+        # Autocommit batch writes broadcast immediately.
+        assert (SQL, (0,)) not in cache
+        assert conn.execute_query(SQL, [0]).scalar() == 12
+        assert (SQL, (0,)) in cache
+        # Transactional write: invalidation deferred to commit.
+        txn = conn.begin()
+        conn.execute_update("INSERT INTO t (a, grp) VALUES (?, ?)", [402, 0])
+        assert (SQL, (0,)) in cache
+        conn.commit()
+        assert (SQL, (0,)) not in cache
+        assert conn.execute_query(SQL, [0]).scalar() == 13
+        conn.close()
+
+
+class TestSiteLedger:
+    def test_site_stats_key_hits_and_wastes_per_label(self, grouped):
+        conn = grouped.connect(async_workers=2)
+        hit = conn.speculate_query(SQL, [0], site="card.detail")
+        assert conn.fetch_result(hit).scalar() == 10
+        waste = conn.speculate_query(SQL, [1], site="card.detail")
+        waste.abandon()
+        other = conn.speculate_query(SQL, [2], site="feed.preview")
+        assert conn.fetch_result(other).scalar() == 10
+        sites = conn.site_stats()
+        card = sites["card.detail"]
+        assert (card.speculations, card.hits, card.wasted) == (2, 1, 1)
+        assert card.hit_rate == 0.5
+        feed = sites["feed.preview"]
+        assert (feed.speculations, feed.hits, feed.wasted) == (1, 1, 0)
+        assert feed.hit_rate == 1.0
+        conn.close()
+
+    def test_default_site_label_is_statement_text(self, grouped):
+        conn = grouped.connect(async_workers=2)
+        handle = conn.speculate_query(SQL, [0])
+        conn.fetch_result(handle)
+        assert conn.site_stats()[SQL[:40]].hits == 1
+        conn.close()
+
+    def test_unsettled_sites_report_no_hit_rate(self, grouped):
+        conn = grouped.connect(async_workers=1)
+        gate = hold_worker(conn)
+        conn.speculate_query(SQL, [0], site="pending")
+        entry = conn.site_stats()["pending"]
+        assert entry.speculations == 1
+        assert entry.hit_rate is None
+        gate.set()
+        conn.close()
+
+    def test_ledger_matches_pipeline_totals(self, grouped):
+        conn = grouped.connect(async_workers=2, coalesce=True)
+        for n in range(5):
+            handle = conn.speculate_query(SQL, [n % 4], site=f"site{n % 2}")
+            if n % 2:
+                handle.abandon()
+            else:
+                conn.fetch_result(handle)
+        conn.close()
+        sites = conn.site_stats().values()
+        stats = conn.stats
+        assert sum(s.speculations for s in sites) == stats.speculations
+        assert sum(s.hits for s in sites) == stats.speculation_hits
+        assert sum(s.wasted for s in sites) == stats.speculation_wasted
+
+
+class TestAioFrontEnd:
+    def test_aio_submits_ride_the_same_coalescer(self, grouped):
+        import asyncio
+
+        from repro.runtime.aio import aio_connect
+
+        async def main():
+            aconn = aio_connect(grouped, max_in_flight=1, coalesce=True)
+            gate = hold_worker(aconn.connection)
+            handles = [aconn.submit_query(SQL, [g % 4]) for g in range(6)]
+            gate.set()
+            results = await aconn.gather(handles)
+            stats = aconn.pipeline.stats
+            assert [r.scalar() for r in results] == [10] * 6
+            assert stats.coalesced_batches == 1
+            assert stats.coalesced_queries == 6
+            aconn.close()
+
+        asyncio.run(main())

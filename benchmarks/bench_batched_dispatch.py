@@ -24,8 +24,9 @@ from dataclasses import replace
 from conftest import run_once
 
 from repro.bench.figures import _scaled
-from repro.bench.harness import FigureData, measure
+from repro.bench.harness import FigureData, measure, write_bench_json
 from repro.db.latency import SYS1
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads import hotset
 
 #: Margin async+coalesce must beat plain async by on the skewed
@@ -54,9 +55,16 @@ def run_dispatch(
     try:
         user_ids = hotset.skewed_user_batch(db, iterations)
         series = figure.new_series("time")
+        registries = {
+            "blocking": MetricsRegistry(),
+            "async": MetricsRegistry(),
+            "async+coalesce": MetricsRegistry(),
+        }
 
         def blocking():
-            with db.connect(async_workers=1) as conn:
+            with db.connect(
+                async_workers=1, metrics=registries["blocking"]
+            ) as conn:
                 return hotset.load_profiles(conn, user_ids)
 
         def lookup_loop(conn):
@@ -71,21 +79,24 @@ def run_dispatch(
             return profiles
 
         def asynchronous():
-            with db.connect(async_workers=threads) as conn:
+            with db.connect(
+                async_workers=threads, metrics=registries["async"]
+            ) as conn:
                 return lookup_loop(conn)
 
         def coalesced():
             with db.connect(
-                async_workers=threads, coalesce=True, coalesce_window=window
+                async_workers=threads, coalesce=True, coalesce_window=window,
+                metrics=registries["async+coalesce"],
             ) as conn:
                 profiles = lookup_loop(conn)
-                stats = conn.stats
+                stats = conn.stats_snapshot()["submission"]
                 figure.notes.append(
-                    f"coalesced: {stats.coalesced_batches} batches carried "
-                    f"{stats.coalesced_queries} queries, "
-                    f"{stats.round_trips_saved} round trips saved"
+                    f"coalesced: {stats['coalesced_batches']} batches "
+                    f"carried {stats['coalesced_queries']} queries, "
+                    f"{stats['round_trips_saved']} round trips saved"
                 )
-                assert stats.coalesced_batches > 0, (
+                assert stats["coalesced_batches"] > 0, (
                     "the skewed lookup loop must outrun the executor and "
                     "form at least one batch"
                 )
@@ -101,6 +112,7 @@ def run_dispatch(
         ):
             db.warm_table("users")
             value, seconds = measure(runner)
+            figure.absorb_latencies(label, registries[label])
             if expected is None:
                 expected = value
             assert value == expected, f"{label} changed the results"
@@ -133,4 +145,6 @@ def test_batched_dispatch(benchmark):
 
 
 if __name__ == "__main__":
-    print(run_dispatch().format())
+    figure = run_dispatch()
+    print(figure.format())
+    print(f"wrote {write_bench_json(figure)}")

@@ -73,6 +73,10 @@ def test_mixed_sync_aio_invalidation_under_load(benchmark):
 
 
 if __name__ == "__main__":
-    print(figures.run_prefetch_cache().format())
+    from repro.bench.harness import write_bench_json
+
+    figure = figures.run_prefetch_cache()
+    print(figure.format())
+    print(f"wrote {write_bench_json(figure)}")
     print(figures.run_speculative_prefetch().format())
     print(figures.run_mixed_clients().format())

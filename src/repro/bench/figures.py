@@ -480,6 +480,7 @@ def run_prefetch_cache(
     so repeated ``(sql, params)`` pairs — ~``hot_fraction`` of a skewed
     batch — are served client-side without a round trip or server work.
     """
+    from ..obs.metrics import MetricsRegistry
     from ..prefetch import ResultCache
     from ..workloads import hotset
 
@@ -505,43 +506,55 @@ def run_prefetch_cache(
             ids = hotset.skewed_user_batch(
                 db, count, hot_users=hot_users, hot_fraction=hot_fraction
             )
-            connection = db.connect(async_workers=threads)
+            blocking_reg = MetricsRegistry()
+            connection = db.connect(async_workers=threads, metrics=blocking_reg)
             try:
                 base = original(connection, list(ids))  # warm the buffer pool
+                blocking_reg.reset()  # keep warm-up out of the percentiles
                 check, base_s = measure(lambda: original(connection, list(ids)))
                 assert check == base
             finally:
                 connection.close()
-            connection = db.connect(async_workers=threads)
+            figure.absorb_latencies("blocking", blocking_reg)
+            async_reg = MetricsRegistry()
+            connection = db.connect(async_workers=threads, metrics=async_reg)
             try:
                 rewritten(connection, list(ids))  # warm the thread pool
+                async_reg.reset()
                 fast, fast_s = measure(lambda: rewritten(connection, list(ids)))
                 assert fast == base, "async kernel changed results"
             finally:
                 connection.close()
+            figure.absorb_latencies("async", async_reg)
             cache = ResultCache(capacity=cache_capacity)
-            connection = db.connect(async_workers=threads, result_cache=cache)
+            cached_reg = MetricsRegistry()
+            connection = db.connect(
+                async_workers=threads, result_cache=cache, metrics=cached_reg
+            )
             try:
                 # Warm-up parity with the async variant: the thread pool
                 # spawns here, and the cache fills — the measured batch
                 # is the steady-state repeat request.
                 rewritten(connection, list(ids))
-                first_batch = cache.stats
+                first_batch = cache.stats_snapshot()
                 cache.clear_stats()
+                cached_reg.reset()
                 cached, cached_s = measure(lambda: rewritten(connection, list(ids)))
                 assert cached == base, "cached kernel changed results"
             finally:
                 connection.close()
+            figure.absorb_latencies("prefetch+cache", cached_reg)
             blocking_series.add(count, base_s)
             async_series.add(count, fast_s)
             cached_series.add(count, cached_s)
+            steady = cache.stats_snapshot()
             figure.notes.append(
                 f"{count} iterations: steady-state hit-rate "
-                f"{cache.stats.hit_rate:.2f} ({cache.stats.hits} hits / "
-                f"{cache.stats.lookups} lookups); first batch "
-                f"{first_batch.hit_rate:.2f} with "
-                f"{first_batch.shared_flights} single-flight joins, "
-                f"{cache.stats.evictions} evictions"
+                f"{steady['hit_rate']:.2f} ({steady['hits']} hits / "
+                f"{steady['lookups']} lookups); first batch "
+                f"{first_batch['hit_rate']:.2f} with "
+                f"{first_batch['shared_flights']} single-flight joins, "
+                f"{steady['evictions']} evictions"
             )
         top = max(iterations)
         vs_blocking = figure.speedup("blocking", "prefetch+cache", top)

@@ -1,11 +1,24 @@
-"""Timing utilities and result containers for the benchmark harness."""
+"""Timing utilities and result containers for the benchmark harness.
+
+Besides wall-clock series, a figure can carry *per-series latency
+histograms* (one :class:`~repro.obs.metrics.Histogram` per measured
+discipline, absorbed from the per-variant
+:class:`~repro.obs.metrics.MetricsRegistry` the runner attached to its
+connection).  :func:`write_bench_json` renders the whole figure —
+points, notes, and per-series p50/p90/p95/p99 — into a
+``BENCH_<figure_id>.json`` document, the machine-readable perf
+trajectory CI archives and diffs.
+"""
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import Histogram, MetricsRegistry
 
 
 def bench_scale() -> float:
@@ -63,11 +76,33 @@ class FigureData:
     series: List[FigureSeries] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     paper_reference: str = ""
+    #: Per-series operation-latency histograms, keyed by series name
+    #: (populated by :meth:`absorb_latencies`; empty when the runner
+    #: collected no metrics).
+    op_latencies: Dict[str, Histogram] = field(default_factory=dict)
 
     def new_series(self, name: str) -> FigureSeries:
         created = FigureSeries(name)
         self.series.append(created)
         return created
+
+    def op_histogram(self, label: str) -> Histogram:
+        """Get-or-create the accumulated latency histogram for one
+        series label."""
+        hist = self.op_latencies.get(label)
+        if hist is None:
+            hist = self.op_latencies[label] = Histogram(label)
+        return hist
+
+    def absorb_latencies(self, label: str, registry: MetricsRegistry) -> None:
+        """Fold every histogram of a per-variant ``registry`` into this
+        figure's accumulated histogram for ``label`` (runners reset the
+        registry between warm-up and measured runs, so only measured
+        observations land here)."""
+        target = self.op_histogram(label)
+        for hist in registry.histograms().values():
+            if hist.count:
+                target.merge(hist)
 
     def xs(self) -> List[float]:
         seen: List[float] = []
@@ -122,3 +157,62 @@ class FigureData:
         for note in self.notes:
             lines.append(f"   note: {note}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def bench_json(self) -> Dict[str, Any]:
+        """The figure as one JSON-ready dict: every series' wall-clock
+        points plus its latency-histogram percentiles (p50/p90/p95/p99),
+        the schema ``BENCH_*.json`` documents carry."""
+        series_out: List[Dict[str, Any]] = []
+        for series in self.series:
+            entry: Dict[str, Any] = {
+                "name": series.name,
+                "points": [
+                    {"x": x, "seconds": seconds}
+                    for x, seconds in series.points
+                ],
+            }
+            hist = self.op_latencies.get(series.name)
+            if hist is not None and hist.count:
+                entry["latency"] = hist.snapshot()
+            series_out.append(entry)
+        # Histograms without a matching wall-clock series still emit.
+        named = {series.name for series in self.series}
+        for label, hist in self.op_latencies.items():
+            if label not in named and hist.count:
+                series_out.append(
+                    {"name": label, "points": [], "latency": hist.snapshot()}
+                )
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "paper_reference": self.paper_reference,
+            "series": series_out,
+            "notes": list(self.notes),
+        }
+
+
+def write_bench_json(
+    figure: FigureData,
+    filename: Optional[str] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write ``figure.bench_json()`` to ``BENCH_<figure_id>.json``.
+
+    ``directory`` defaults to ``REPRO_BENCH_OUT`` (or the working
+    directory); dashes in the figure id become underscores, so figure
+    ``batched-dispatch`` lands in ``BENCH_batched_dispatch.json``.
+    Returns the written path.
+    """
+    if filename is None:
+        slug = figure.figure_id.replace("-", "_").replace("/", "_")
+        filename = f"BENCH_{slug}.json"
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w") as out:
+        json.dump(figure.bench_json(), out, indent=2, default=str)
+        out.write("\n")
+    return path

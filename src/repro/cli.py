@@ -3,11 +3,20 @@
 Rewrites a Python source file for asynchronous query submission and
 prints (or writes) the result, plus the per-loop transformation report
 — the command-line equivalent of the paper's source-to-source tool.
+
+Two observability subcommands ride alongside the transformer:
+
+* ``repro stats [--json]`` — run a small demonstration workload through
+  the full pipeline (cache + set-oriented dispatch + metrics) and print
+  the unified :class:`~repro.obs.metrics.MetricsRegistry` snapshot;
+* ``repro trace [--json]`` — run traced queries and print the recorded
+  span trees (or the raw span export as JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -117,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "embed an end-to-end tracing hint ('trace': True) in the "
+            "__repro_prefetch__ output: the runtime should open its "
+            "connections with trace=True so every request records a "
+            "span tree (requires --prefetch)"
+        ),
+    )
+    parser.add_argument(
         "--commuting-updates", action="store_true",
         help="declare execute_update calls commutative (Experiment 4)",
     )
@@ -131,7 +149,114 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _demo_workload(db, conn, ops: int) -> None:
+    """A tiny hotset workload exercising every pipeline stage: repeated
+    reads (cache hits), bursts of same-statement submits (coalescing),
+    and blocking calls — enough signal for stats/trace output."""
+    db.create_table("part", ("part_key", "int"), ("category_id", "int"))
+    db.bulk_load("part", [(i, i % 7) for i in range(200)])
+    sql = "SELECT count(*) FROM part WHERE category_id = ?"
+    for round_no in range(max(1, ops // 10)):
+        handles = [conn.submit_query(sql, [c % 7]) for c in range(10)]
+        for handle in handles:
+            conn.fetch_result(handle)
+        conn.execute_query(sql, [round_no % 7])
+
+
+def stats_main(argv: Sequence[str]) -> int:
+    """``repro stats``: run the demo workload, print the unified
+    metrics snapshot (counters, histogram percentiles, every registered
+    stats source)."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Run a demonstration workload through the cache-aware, "
+            "set-oriented submission pipeline and print the unified "
+            "metrics registry snapshot."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=100, metavar="N",
+        help="approximate number of queries to run (default 100)",
+    )
+    args = parser.parse_args(argv)
+    from .db import Database, INSTANT
+    from .prefetch.cache import ResultCache
+
+    with Database(INSTANT) as db:
+        with db.connect(
+            result_cache=ResultCache(capacity=256),
+            coalesce=True,
+            metrics=True,
+        ) as conn:
+            _demo_workload(db, conn, args.ops)
+            snapshot = db.stats_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=str))
+    else:
+        _print_tree(snapshot)
+    return 0
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """``repro trace``: run traced queries and print the span trees."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run traced queries through the submission pipeline and "
+            "print the recorded span trees (submit -> cache -> coalesce "
+            "-> dispatch -> server execute -> fetch)."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw span export as JSON instead of the tree view",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=20, metavar="N",
+        help="approximate number of queries to run (default 20)",
+    )
+    args = parser.parse_args(argv)
+    from .db import Database, INSTANT
+    from .prefetch.cache import ResultCache
+
+    with Database(INSTANT) as db:
+        with db.connect(
+            result_cache=ResultCache(capacity=256),
+            coalesce=True,
+            trace=True,
+        ) as conn:
+            _demo_workload(db, conn, args.ops)
+            if args.json:
+                print(json.dumps(db.tracer.export(), indent=2, default=str))
+            else:
+                print(db.tracer.format_traces())
+    return 0
+
+
+def _print_tree(value, indent: int = 0) -> None:
+    """Plain-text rendering of a nested snapshot dict."""
+    pad = "  " * indent
+    for key, item in value.items():
+        if isinstance(item, dict):
+            print(f"{pad}{key}:")
+            _print_tree(item, indent + 1)
+        elif isinstance(item, float):
+            print(f"{pad}{key}: {item:.6g}")
+        else:
+            print(f"{pad}{key}: {item}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stats":
+        return stats_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return trace_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.cache_size is not None:
@@ -148,6 +273,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--speculate requires --prefetch")
     if args.coalesce and not args.prefetch:
         parser.error("--coalesce requires --prefetch")
+    if args.trace and not args.prefetch:
+        parser.error("--trace requires --prefetch")
     if args.coalesce_window is not None:
         if not args.coalesce:
             parser.error("--coalesce-window requires --coalesce")
@@ -198,6 +325,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 speculate_threshold=args.speculate_threshold,
                 coalesce=args.coalesce,
                 coalesce_window=args.coalesce_window,
+                trace=args.trace,
             )
         else:
             result = asyncify_source(

@@ -72,29 +72,46 @@ class BatchExecutor:
         self.stats.statements += len(param_sets)
         if not param_sets:
             return []
-        # One round trip carries the whole batch.
-        rtt = server.profile.network_rtt_s
-        if rtt:
-            server.meter.charge("network", rtt)
-        prepared = server.prepare(sql)
-        if self._set_oriented and demuxable(prepared.plan):
-            self.stats.set_batches += 1
-            outcomes = server.submit_prepared_batch(
-                prepared, [tuple(params) for params in param_sets]
-            ).result()
+        tracer = self._connection.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start(
+                "batch", sql=sql, bindings=len(param_sets),
+                set_oriented=self._set_oriented,
+            )
+        try:
+            # One round trip carries the whole batch.
+            rtt = server.profile.network_rtt_s
+            if rtt:
+                server.meter.charge("network", rtt)
+            prepared = server.prepare(sql)
+            if self._set_oriented and demuxable(prepared.plan):
+                self.stats.set_batches += 1
+                outcomes = server.submit_prepared_batch(
+                    prepared,
+                    [tuple(params) for params in param_sets],
+                    span=span,
+                ).result()
+                # The client blocks here: no overlap with client computation.
+                results: List[QueryResult] = []
+                for outcome in outcomes:
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                    results.append(outcome)
+                return results
+            futures = [
+                server.submit_prepared(prepared, tuple(params), span=span)
+                for params in param_sets
+            ]
             # The client blocks here: no overlap with client computation.
-            results: List[QueryResult] = []
-            for outcome in outcomes:
-                if isinstance(outcome, BaseException):
-                    raise outcome
-                results.append(outcome)
-            return results
-        futures = [
-            server.submit_prepared(prepared, tuple(params))
-            for params in param_sets
-        ]
-        # The client blocks here: no overlap with client computation.
-        return [future.result() for future in futures]
+            return [future.result() for future in futures]
+        except BaseException as exc:
+            if span is not None:
+                span.set("error", repr(exc))
+            raise
+        finally:
+            if span is not None:
+                span.end()
 
     def execute_batched_updates(
         self, sql: str, param_sets: Sequence[Sequence[Any]]
@@ -102,3 +119,11 @@ class BatchExecutor:
         """Batch DML; returns the total row count."""
         results = self.execute_batch(sql, param_sets)
         return sum(result.rowcount for result in results)
+
+    def stats_snapshot(self) -> dict:
+        """This executor's counters as one plain dict."""
+        return {
+            "batches": self.stats.batches,
+            "statements": self.stats.statements,
+            "set_batches": self.stats.set_batches,
+        }

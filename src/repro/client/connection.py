@@ -107,6 +107,13 @@ class Connection:
     same statement into one batched server call, ``coalesce_window``
     bounding how many merge (default
     :attr:`~repro.core.submission.DispatchCoalescer.DEFAULT_WINDOW`).
+
+    Observability is opt-in: ``tracer`` (a
+    :class:`~repro.obs.trace.Tracer`) makes every request emit a span
+    tree, and ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+    collects per-query latency histograms and registers this
+    connection's stats surfaces as snapshot sources.  Both default to
+    off, in which case the hot path pays a single ``None`` test.
     """
 
     def __init__(
@@ -116,6 +123,8 @@ class Connection:
         result_cache: Optional[ResultCache] = None,
         coalesce: bool = False,
         coalesce_window: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self._server = server
         self._executor = AsyncExecutor(
@@ -129,7 +138,11 @@ class Connection:
             cache=result_cache,
             coalesce=coalesce,
             coalesce_window=coalesce_window,
+            tracer=tracer,
+            metrics=metrics,
         )
+        if metrics is not None and result_cache is not None:
+            metrics.register_source("cache", result_cache.stats_snapshot)
         self._closed = False
         self._txn: Optional[Transaction] = None
 
@@ -171,10 +184,32 @@ class Connection:
         """Is set-oriented dispatch (submit coalescing) enabled?"""
         return self._pipeline.coalescer is not None
 
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.obs.trace.Tracer` (None when
+        tracing is off)."""
+        return self._pipeline.tracer
+
+    @property
+    def metrics(self):
+        """The attached :class:`~repro.obs.metrics.MetricsRegistry`
+        (None when metrics collection is off)."""
+        return self._pipeline.metrics
+
     def site_stats(self):
         """Per-call-site speculation ledger (hits/wastes keyed by site
         label) — see :meth:`SubmissionPipeline.site_stats`."""
         return self._pipeline.site_stats()
+
+    def stats_snapshot(self) -> dict:
+        """This connection's counters as one nested plain dict:
+        the pipeline's counters (with the per-site speculation ledger)
+        plus the attached cache's, when one is present."""
+        snap: dict = {"submission": self._pipeline.stats_snapshot()}
+        cache = self._pipeline.cache
+        if cache is not None:
+            snap["cache"] = cache.stats_snapshot()
+        return snap
 
     # ------------------------------------------------------------------
     # preparation

@@ -90,7 +90,7 @@ import time
 from collections import deque
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import (
     Any,
     Callable,
@@ -109,6 +109,8 @@ from ..db.plan import QueryResult
 from ..db.server import DatabaseServer, PreparedStatement
 from ..db.sql.ast_nodes import is_write
 from ..db.txn import Transaction
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.trace import Span, Tracer
 from ..prefetch.cache import ResultCache
 from ..prefetch.tables import tables_of_statement
 from ..runtime.handles import QueryHandle, failed_handle, resolved_future
@@ -265,10 +267,30 @@ class CallPipeline:
     directly with HTTP-shaped invokes.
     """
 
-    def __init__(self, executor, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        executor,
+        cache: Optional[ResultCache] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._executor = executor
         self._cache = cache
         self.stats = SubmissionStats()
+        #: Guards every non-speculation counter of ``stats``.  The
+        #: speculation_* counters stay under ``_spec_lock`` (they must
+        #: move in lockstep with the ledger); everything else moves
+        #: through :meth:`_bump` so concurrent front ends never lose an
+        #: increment.
+        self._stats_lock = threading.Lock()
+        self._tracer = tracer
+        self._metrics = metrics
+        self._blocking_hist: Optional[Histogram] = None
+        self._query_hist: Optional[Histogram] = None
+        if metrics is not None:
+            self._blocking_hist = metrics.histogram("submission.blocking_s")
+            self._query_hist = metrics.histogram("submission.query_s")
+            metrics.register_source("submission", self.stats_snapshot)
         self._spec_lock = threading.Lock()
         #: Unsettled speculative handles (strong refs: a handle dropped
         #: by the application must still be abandonable by the drain).
@@ -291,6 +313,19 @@ class CallPipeline:
     def executor(self):
         return self._executor
 
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self._tracer
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        return self._metrics
+
+    def _bump(self, field: str, n: int = 1) -> None:
+        """Increment one non-speculation stats counter under its lock."""
+        with self._stats_lock:
+            setattr(self.stats, field, getattr(self.stats, field) + n)
+
     # ------------------------------------------------------------------
     # blocking path
     # ------------------------------------------------------------------
@@ -300,6 +335,7 @@ class CallPipeline:
         key: Any = None,
         tables: Optional[Iterable[str]] = None,
         still_valid: Optional[Callable[[], bool]] = None,
+        span: Optional[Span] = None,
     ) -> Any:
         """Submit and wait in the calling thread.
 
@@ -309,23 +345,34 @@ class CallPipeline:
         at publication time: if the read may have overlapped a data
         change, waiters are served but the value is not retained.
         """
-        self.stats.blocking_calls += 1
-        lease = self._acquire(key, tables)
-        if lease is None:
-            return invoke()
-        if lease.is_hit:
-            self.stats.cache_hits += 1
-            return lease.value
-        if lease.is_follower:
-            self.stats.cache_hits += 1
-            return lease.wait()
+        self._bump("blocking_calls")
+        started = time.perf_counter()
         try:
-            result = invoke()
+            lease = self._acquire_traced(key, tables, span)
+            if lease is None:
+                return invoke()
+            if lease.is_hit:
+                self._bump("cache_hits")
+                return lease.value
+            if lease.is_follower:
+                self._bump("cache_hits")
+                return lease.wait()
+            try:
+                result = invoke()
+            except BaseException as exc:
+                self._cache.fail(lease, exc)
+                raise
+            retain = still_valid is None or still_valid()
+            return self._cache.complete(lease, result, retain=retain)
         except BaseException as exc:
-            self._cache.fail(lease, exc)
+            if span is not None:
+                span.set("error", repr(exc))
             raise
-        retain = still_valid is None or still_valid()
-        return self._cache.complete(lease, result, retain=retain)
+        finally:
+            if self._blocking_hist is not None:
+                self._blocking_hist.observe(time.perf_counter() - started)
+            if span is not None:
+                span.end()
 
     # ------------------------------------------------------------------
     # non-blocking path
@@ -339,6 +386,7 @@ class CallPipeline:
         on_dispatch: Optional[Callable[[], None]] = None,
         cleanup: Optional[Callable[[], None]] = None,
         still_valid: Optional[Callable[[], bool]] = None,
+        span: Optional[Span] = None,
     ) -> QueryHandle:
         """Submit without waiting; returns a handle.
 
@@ -349,14 +397,16 @@ class CallPipeline:
         counterpart, run when the dispatched task finishes — or
         immediately, if the dispatch itself fails.
         """
-        self.stats.async_submits += 1
-        lease = self._acquire(key, tables)
+        self._bump("async_submits")
+        lease = self._acquire_traced(key, tables, span)
         future = self._lease_future(lease)
         if future is not None:
-            return QueryHandle(future, label=label)
-        return self._run_task(
+            return QueryHandle(future, label=label, span=span)
+        handle = self._run_task(
             invoke, lease, label, on_dispatch, cleanup, still_valid
         )
+        handle.span = span
+        return handle
 
     def _lease_future(self, lease) -> Optional["Future"]:
         """Already-resolved future for a cache hit, or the owner's
@@ -369,10 +419,10 @@ class CallPipeline:
         if lease is None:
             return None
         if lease.is_hit:
-            self.stats.cache_hits += 1
+            self._bump("cache_hits")
             return resolved_future(lease.value)
         if lease.is_follower:
-            self.stats.cache_hits += 1
+            self._bump("cache_hits")
             return lease.future
         return None
 
@@ -429,6 +479,7 @@ class CallPipeline:
         on_dispatch: Optional[Callable[[], None]] = None,
         cleanup: Optional[Callable[[], None]] = None,
         still_valid: Optional[Callable[[], bool]] = None,
+        span: Optional[Span] = None,
     ) -> SpeculativeHandle:
         """Dispatch a read whose handle may be dropped (see the module
         docstring's speculation contract).
@@ -439,23 +490,23 @@ class CallPipeline:
         checks — only the handle type, the stats and the settle ledger
         differ.
         """
-        lease = self._acquire(key, tables)
+        lease = self._acquire_traced(key, tables, span)
         future = self._lease_future(lease)
         if future is not None:
-            return self._track(
-                SpeculativeHandle(future, label=label, pipeline=self)
-            )
+            handle = SpeculativeHandle(future, label=label, pipeline=self)
+            handle.span = span
+            return self._track(handle)
         inner = self._run_task(
             invoke, lease, label, on_dispatch, cleanup, still_valid
         )
-        return self._track(
-            SpeculativeHandle(
-                inner.future,
-                label=label,
-                pipeline=self,
-                cancellable=(lease is None and cleanup is None),
-            )
+        handle = SpeculativeHandle(
+            inner.future,
+            label=label,
+            pipeline=self,
+            cancellable=(lease is None and cleanup is None),
         )
+        handle.span = span
+        return self._track(handle)
 
     def speculate_failed(
         self, error: BaseException, label: str = ""
@@ -581,6 +632,10 @@ class CallPipeline:
                     site = self._site_entry(handle)
                     site.wasted -= 1
                     site.hits += 1
+                    if handle.span is not None:
+                        # The recorded span stays truthful too (the
+                        # buffer holds the object, not a serialization).
+                        handle.span.set("wasted", False)
                 return False  # already settled (fetch/abandon race)
             self._speculations.discard(handle)
             site = self._site_entry(handle)
@@ -593,6 +648,14 @@ class CallPipeline:
                 handle._wasted = True
                 if swept:
                     handle._swept = True
+        span = handle.span
+        if span is not None:
+            # The settle is the last trace event a wasted speculation
+            # ever sees (nobody will fetch it), so end its root here;
+            # a hit's root ends at fetch / note_completion as usual.
+            span.set("wasted", not hit)
+            if not hit:
+                span.end()
         if not hit and handle.cancellable:
             # Still-queued and invisible to anyone else: skip the round
             # trip entirely.  A task already running just completes.
@@ -606,10 +669,39 @@ class CallPipeline:
         Consuming a speculative handle settles it as a hit — the guard
         turned out true and the speculated work was wanted.
         """
-        self.stats.fetches += 1
+        self._bump("fetches")
         if isinstance(handle, SpeculativeHandle):
             handle.claim()
-        return handle.result()
+        span = getattr(handle, "span", None)
+        fetch_span = span.child("fetch") if span is not None else None
+        try:
+            result = handle.result()
+        except BaseException as exc:
+            if span is not None:
+                span.set("error", repr(exc))
+            raise
+        finally:
+            if fetch_span is not None:
+                fetch_span.end()
+            if span is not None:
+                span.end()
+            if self._query_hist is not None:
+                self._query_hist.observe(handle.age_s)
+        return result
+
+    def note_completion(self, handle: QueryHandle) -> None:
+        """Record a handle consumed outside :meth:`fetch`.
+
+        The asyncio front end awaits the wrapped future directly (no
+        blocking fetch ever runs), so it calls this from a done
+        callback: the submit→result latency lands in the query
+        histogram and the root span is closed.
+        """
+        if self._query_hist is not None:
+            self._query_hist.observe(handle.age_s)
+        span = getattr(handle, "span", None)
+        if span is not None:
+            span.end()
 
     # ------------------------------------------------------------------
     def _acquire(self, key: Any, tables: Optional[Iterable[str]]):
@@ -617,11 +709,68 @@ class CallPipeline:
             return None
         return self._cache.acquire(key, tables)
 
+    def _acquire_traced(
+        self, key: Any, tables: Optional[Iterable[str]], span: Optional[Span]
+    ):
+        """:meth:`_acquire` plus a ``cache`` child span recording the
+        lookup outcome (also mirrored onto the root as ``cache:``)."""
+        if span is None:
+            return self._acquire(key, tables)
+        with span.child("cache") as cache_span:
+            lease = self._acquire(key, tables)
+            if lease is None:
+                outcome = "bypass"
+            elif lease.is_hit:
+                outcome = "hit"
+            elif lease.is_follower:
+                outcome = "follower"
+            else:
+                outcome = "miss"
+            cache_span.set("outcome", outcome)
+        span.set("cache", outcome)
+        return lease
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Every counter of this pipeline as one plain dict.
+
+        Non-speculation counters are read under ``_stats_lock``, the
+        speculation counters and per-site ledger under ``_spec_lock``
+        (their owning lock), so the snapshot never tears an invariant.
+        """
+        with self._stats_lock:
+            snap: Dict[str, Any] = asdict(self.stats)
+        with self._spec_lock:
+            for field in (
+                "speculations",
+                "speculation_hits",
+                "speculation_wasted",
+            ):
+                snap[field] = getattr(self.stats, field)
+            snap["speculation_sites"] = {
+                site: {
+                    "speculations": entry.speculations,
+                    "hits": entry.hits,
+                    "wasted": entry.wasted,
+                    "hit_rate": entry.hit_rate,
+                }
+                for site, entry in self._site_ledger.items()
+            }
+        return snap
+
 
 class _PendingDispatch:
     """One enqueued submit awaiting a coalesced flush."""
 
-    __slots__ = ("bound", "future", "lease", "still_valid", "handle")
+    __slots__ = (
+        "bound",
+        "future",
+        "lease",
+        "still_valid",
+        "handle",
+        "span",
+        "queue_span",
+    )
 
     def __init__(self, bound, lease, still_valid) -> None:
         self.bound = bound
@@ -631,6 +780,11 @@ class _PendingDispatch:
         #: The SpeculativeHandle watching this entry, when the submit
         #: was speculative; publication checks its waste state.
         self.handle: Optional[SpeculativeHandle] = None
+        #: Root ``query`` span of the submit (None unless tracing).
+        self.span: Optional[Span] = None
+        #: ``coalesce`` child span covering queue residency: started at
+        #: enqueue, ended by the flusher with the realized batch size.
+        self.queue_span: Optional[Span] = None
 
 
 class DispatchCoalescer:
@@ -694,25 +848,35 @@ class DispatchCoalescer:
     # ------------------------------------------------------------------
     # entry points (called by SubmissionPipeline for autocommit reads)
     # ------------------------------------------------------------------
-    def submit(self, prepared: PreparedStatement, bound: tuple) -> QueryHandle:
+    def submit(
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        span: Optional[Span] = None,
+    ) -> QueryHandle:
         calls = self._pipeline._calls
-        calls.stats.async_submits += 1
+        calls._bump("async_submits")
         label = prepared.sql[:40]
-        entry, future = self._admit(prepared, bound)
+        entry, future = self._admit(prepared, bound, span)
         if entry is None:
-            return QueryHandle(future, label=label)  # hit / follower
+            return QueryHandle(future, label=label, span=span)  # hit / follower
+        entry.span = span
         self._enqueue(prepared, entry)
-        return QueryHandle(entry.future, label=label)
+        return QueryHandle(entry.future, label=label, span=span)
 
     def speculate(
-        self, prepared: PreparedStatement, bound: tuple, label: str
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        label: str,
+        span: Optional[Span] = None,
     ) -> SpeculativeHandle:
         calls = self._pipeline._calls
-        entry, future = self._admit(prepared, bound)
+        entry, future = self._admit(prepared, bound, span)
         if entry is None:
-            return calls._track(
-                SpeculativeHandle(future, label=label, pipeline=calls)
-            )
+            handle = SpeculativeHandle(future, label=label, pipeline=calls)
+            handle.span = span
+            return calls._track(handle)
         handle = SpeculativeHandle(
             entry.future,
             label=label,
@@ -723,14 +887,21 @@ class DispatchCoalescer:
             # run — single-flight followers may be real reads.
             cancellable=(entry.lease is None),
         )
+        handle.span = span
         entry.handle = handle
+        entry.span = span
         self._enqueue(prepared, entry)
         return calls._track(handle)
 
     # ------------------------------------------------------------------
     # queueing
     # ------------------------------------------------------------------
-    def _admit(self, prepared: PreparedStatement, bound: tuple):
+    def _admit(
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        span: Optional[Span] = None,
+    ):
         """Run the cache plan; returns ``(entry, None)`` for a real
         dispatch or ``(None, future)`` when a hit/follower resolves the
         request without one."""
@@ -738,7 +909,7 @@ class DispatchCoalescer:
         key, tables, still_valid = self._pipeline._cache_plan(
             prepared, bound, None
         )
-        lease = calls._acquire(key, tables)
+        lease = calls._acquire_traced(key, tables, span)
         future = calls._lease_future(lease)
         if future is not None:
             return None, future
@@ -751,6 +922,8 @@ class DispatchCoalescer:
         # Every submit still pays the executor hand-off overhead in the
         # submitting thread, exactly like the plain dispatch path.
         server.meter.charge("queue", server.profile.send_overhead_s)
+        if entry.span is not None:
+            entry.queue_span = entry.span.child("coalesce")
         statement_id = prepared.statement_id
         with self._lock:
             group = self._pending.get(statement_id)
@@ -818,36 +991,71 @@ class DispatchCoalescer:
             # out of the batch here.
             if entry.future.set_running_or_notify_cancel():
                 live.append(entry)
-            elif entry.lease is not None:
-                # Never strand followers of a cancelled owner.
-                pipeline.cache.fail(entry.lease, CancelledError())
+            else:
+                if entry.queue_span is not None:
+                    entry.queue_span.set("cancelled", True).end()
+                if entry.lease is not None:
+                    # Never strand followers of a cancelled owner.
+                    pipeline.cache.fail(entry.lease, CancelledError())
         if not live:
             return
+        for entry in live:
+            if entry.queue_span is not None:
+                entry.queue_span.set("batch_size", len(live)).end()
         if len(live) == 1:
             entry = live[0]
             try:
-                result = pipeline._round_trip(prepared, entry.bound, None)
+                result = pipeline._round_trip(
+                    prepared, entry.bound, None, span=entry.span
+                )
             except BaseException as exc:
                 self._fail(entry, exc)  # surfaces at the handle's fetch
             else:
                 self._complete(entry, result)
             return
-        stats = pipeline.stats
-        stats.coalesced_batches += 1
-        stats.coalesced_queries += len(live)
-        stats.round_trips_saved += len(live) - 1
+        calls = pipeline._calls
+        calls._bump("coalesced_batches")
+        calls._bump("coalesced_queries", len(live))
+        calls._bump("round_trips_saved", len(live) - 1)
+        # One batched ``dispatch`` span covers the whole server call.  It
+        # is the one deliberate deviation from a strict per-query tree:
+        # it starts its own trace, links every member's root, and each
+        # member root points back (``dispatch_span``), so N trees share
+        # the single server-execute span without any of them owning it.
+        batch_span: Optional[Span] = None
+        tracer = calls.tracer
+        if tracer is not None and tracer.enabled:
+            roots = [entry.span for entry in live if entry.span is not None]
+            if roots:
+                batch_span = tracer.start(
+                    "dispatch",
+                    batched=True,
+                    bindings=len(live),
+                    statement=prepared.sql[:40],
+                )
+                for root in roots:
+                    batch_span.link(root.span_id)
+                    root.set("coalesced", True)
+                    root.set("dispatch_span", batch_span.span_id)
         server = pipeline._server
         rtt = server.profile.network_rtt_s
         if rtt:
             server.meter.charge("network", rtt)  # ONE round trip, N queries
         try:
             outcomes = server.submit_prepared_batch(
-                prepared, [entry.bound for entry in live]
+                prepared,
+                [entry.bound for entry in live],
+                span=batch_span,
             ).result()
         except BaseException as exc:
+            if batch_span is not None:
+                batch_span.set("error", repr(exc)).end()
             for entry in live:
                 self._fail(entry, exc)
             return
+        finally:
+            if batch_span is not None:
+                batch_span.end()
         for entry, outcome in zip(live, outcomes):
             if isinstance(outcome, BaseException):
                 self._fail(entry, outcome)
@@ -887,9 +1095,11 @@ class SubmissionPipeline:
         cache: Optional[ResultCache] = None,
         coalesce: bool = False,
         coalesce_window: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._server = server
-        self._calls = CallPipeline(executor, cache)
+        self._calls = CallPipeline(executor, cache, tracer=tracer, metrics=metrics)
         #: Set-oriented dispatch (off by default): autocommit reads are
         #: routed through a :class:`DispatchCoalescer` that merges
         #: same-statement submits queued behind the executor into one
@@ -921,6 +1131,46 @@ class SubmissionPipeline:
     def stats(self) -> SubmissionStats:
         return self._calls.stats
 
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self._calls.tracer
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        return self._calls.metrics
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Every pipeline counter (and the per-site speculation ledger)
+        as one plain dict — see :meth:`CallPipeline.stats_snapshot`."""
+        return self._calls.stats_snapshot()
+
+    def note_completion(self, handle: QueryHandle) -> None:
+        """Record a handle consumed outside :meth:`fetch` (asyncio
+        front end) — see :meth:`CallPipeline.note_completion`."""
+        self._calls.note_completion(handle)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _trace_root(
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        mode: str,
+        site: Optional[str] = None,
+    ) -> Optional[Span]:
+        """Root ``query`` span for one request — None unless tracing is
+        enabled, so the disabled-path cost is one attribute test."""
+        tracer = self._calls.tracer
+        if tracer is None or not tracer.enabled:
+            return None
+        span = tracer.start("query", sql=prepared.sql, mode=mode)
+        if bound:
+            span.set("params", repr(bound)[:80])
+        if site is not None:
+            span.set("site", site)
+        return span
+
     # ------------------------------------------------------------------
     # normalization
     # ------------------------------------------------------------------
@@ -948,11 +1198,13 @@ class SubmissionPipeline:
         """Submit and wait: the paper's ``executeQuery``."""
         prepared, bound = self.resolve(query, params)
         key, tables, still_valid = self._cache_plan(prepared, bound, txn)
+        root = self._trace_root(prepared, bound, "execute")
         return self._calls.call(
-            lambda: self._round_trip(prepared, bound, txn),
+            lambda: self._round_trip(prepared, bound, txn, span=root),
             key=key,
             tables=tables,
             still_valid=still_valid,
+            span=root,
         )
 
     def submit(
@@ -983,15 +1235,18 @@ class SubmissionPipeline:
             except Exception as exc:
                 # Observer-model contract: submission problems surface
                 # at fetch_result, in iteration order.
-                self.stats.async_submits += 1
+                self._calls._bump("async_submits")
                 return failed_handle(exc)
             if self._coalescer is not None and not is_write(prepared.ast):
                 # Set-oriented dispatch: autocommit reads may merge with
                 # other outstanding submits of the same statement.
-                return self._coalescer.submit(prepared, bound)
+                root = self._trace_root(prepared, bound, "submit")
+                return self._coalescer.submit(prepared, bound, span=root)
 
+        root = self._trace_root(prepared, bound, "submit")
         return self._calls.dispatch(
-            lambda: self._round_trip(prepared, bound, txn),
+            lambda: self._round_trip(prepared, bound, txn, span=root),
+            span=root,
             **self._dispatch_args(prepared, bound, txn),
         )
 
@@ -1067,10 +1322,12 @@ class SubmissionPipeline:
                 "read-only by contract"
             )
         label = site if site is not None else prepared.sql[:40]
+        root = self._trace_root(prepared, bound, "speculate", site=label)
         if self._coalescer is not None and txn is None:
-            return self._coalescer.speculate(prepared, bound, label)
+            return self._coalescer.speculate(prepared, bound, label, span=root)
         return self._calls.speculate(
-            lambda: self._round_trip(prepared, bound, txn),
+            lambda: self._round_trip(prepared, bound, txn, span=root),
+            span=root,
             **self._dispatch_args(prepared, bound, txn, label=label),
         )
 
@@ -1096,13 +1353,34 @@ class SubmissionPipeline:
     # internals
     # ------------------------------------------------------------------
     def _round_trip(
-        self, prepared: PreparedStatement, bound: tuple, txn: Optional[Transaction]
+        self,
+        prepared: PreparedStatement,
+        bound: tuple,
+        txn: Optional[Transaction],
+        span: Optional[Span] = None,
     ) -> QueryResult:
-        """One full network round trip plus server-side execution."""
+        """One full network round trip plus server-side execution.
+
+        ``span`` is the request's root span: the round trip appears as
+        a ``dispatch`` child, and the server hangs its ``server.execute``
+        span under that (the span object rides the submit call across
+        the thread boundary — no ambient context to lose).
+        """
         rtt = self._server.profile.network_rtt_s
         if rtt:
             self._server.meter.charge("network", rtt)
-        return self._server.submit_prepared(prepared, bound, txn=txn).result()
+        dispatch_span = span.child("dispatch") if span is not None else None
+        try:
+            return self._server.submit_prepared(
+                prepared, bound, txn=txn, span=dispatch_span
+            ).result()
+        except BaseException as exc:
+            if dispatch_span is not None:
+                dispatch_span.set("error", repr(exc))
+            raise
+        finally:
+            if dispatch_span is not None:
+                dispatch_span.end()
 
     _BYPASS = (None, None, None)
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .buffer import BufferPool
 from .catalog import Catalog
 from .disk import SimulatedDisk
@@ -38,6 +40,15 @@ class Database:
         self.server = DatabaseServer(
             self.catalog, self.buffer, self.scans, profile, self.meter
         )
+        #: Database-wide observability surfaces.  The tracer starts
+        #: disabled (``connect(trace=True)`` enables it); the registry
+        #: always exists — server and IO stats register as sources up
+        #: front, and snapshotting is pull-based, so an unused registry
+        #: costs nothing per query.
+        self.tracer = Tracer(enabled=False)
+        self.metrics = MetricsRegistry()
+        self.metrics.register_source("server", self.server.stats_snapshot)
+        self.metrics.register_source("io", self.io_report)
 
     # ------------------------------------------------------------------
     # DDL / loading
@@ -112,6 +123,8 @@ class Database:
         result_cache=None,
         coalesce: bool = False,
         coalesce_window=None,
+        trace: bool = False,
+        metrics=None,
     ):
         """Open a client connection (imported lazily to avoid a cycle).
 
@@ -125,15 +138,32 @@ class Database:
         it.  ``coalesce`` enables set-oriented dispatch (merge
         same-statement submits queued behind the executor into one
         batched server call); ``coalesce_window`` caps the batch size.
+
+        ``trace=True`` enables the database-wide :attr:`tracer` and
+        attaches it, so every request through this connection records a
+        span tree.  ``metrics`` attaches a
+        :class:`~repro.obs.metrics.MetricsRegistry` for per-query
+        latency histograms: pass ``True`` for the database-wide
+        :attr:`metrics` registry, or a registry instance (benchmarks
+        keep a private one per measured variant).  Both default to off
+        — the hot path then pays a single ``None`` test.
         """
         from ..client.connection import Connection
 
+        tracer = None
+        if trace:
+            self.tracer.enable()
+            tracer = self.tracer
+        if metrics is True:
+            metrics = self.metrics
         return Connection(
             self.server,
             async_workers=async_workers,
             result_cache=result_cache,
             coalesce=coalesce,
             coalesce_window=coalesce_window,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     def register_cache(self, cache) -> None:
@@ -191,6 +221,14 @@ class Database:
                 "peak_concurrency": self.server.stats.peak_concurrency,
             },
         }
+
+    def stats_snapshot(self) -> dict:
+        """One nested plain dict covering the whole instance: the
+        database-wide :attr:`metrics` registry's snapshot (which pulls
+        the server and IO sources, plus anything connections with
+        ``metrics=True`` registered).  JSON-ready; the ``repro stats``
+        command prints exactly this."""
+        return self.metrics.snapshot()
 
     def close(self) -> None:
         self.server.shutdown()

@@ -14,7 +14,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .buffer import BufferPool
@@ -297,17 +297,23 @@ class DatabaseServer:
         prepared: PreparedStatement,
         params: Sequence = (),
         txn: Optional[Transaction] = None,
+        span=None,
     ) -> "Future[QueryResult]":
+        """Queue a prepared statement; ``span`` (the client's dispatch
+        span, when tracing) parents the worker's ``server.execute``."""
         with self._lock:
             if self._shutdown:
                 raise ServerShutdownError("server is shut down")
-        return self._pool.submit(self._run_prepared, prepared, tuple(params), txn)
+        return self._pool.submit(
+            self._run_prepared, prepared, tuple(params), txn, span
+        )
 
     def submit_prepared_batch(
         self,
         prepared: PreparedStatement,
         bindings: Sequence[Sequence],
         txn: Optional[Transaction] = None,
+        span=None,
     ) -> "Future[List[BindingOutcome]]":
         """Set-oriented execution: one statement over N binding sets.
 
@@ -331,7 +337,9 @@ class DatabaseServer:
             if self._shutdown:
                 raise ServerShutdownError("server is shut down")
         snapshot = [tuple(binding) for binding in bindings]
-        return self._pool.submit(self._run_prepared_batch, prepared, snapshot, txn)
+        return self._pool.submit(
+            self._run_prepared_batch, prepared, snapshot, txn, span
+        )
 
     def execute(
         self,
@@ -362,6 +370,31 @@ class DatabaseServer:
         prepared: PreparedStatement,
         params: tuple,
         txn: Optional[Transaction] = None,
+        span=None,
+    ) -> QueryResult:
+        exec_span = (
+            span.child(
+                "server.execute", statement_id=prepared.statement_id
+            )
+            if span is not None
+            else None
+        )
+        try:
+            return self._execute_prepared(prepared, params, txn, exec_span)
+        except BaseException as exc:
+            if exec_span is not None:
+                exec_span.set("error", repr(exc))
+            raise
+        finally:
+            if exec_span is not None:
+                exec_span.end()
+
+    def _execute_prepared(
+        self,
+        prepared: PreparedStatement,
+        params: tuple,
+        txn: Optional[Transaction],
+        exec_span=None,
     ) -> QueryResult:
         with self._lock:
             stale = prepared.catalog_version != self._catalog_version
@@ -398,6 +431,11 @@ class DatabaseServer:
             )
             result = prepared.plan.execute(ctx)
             ctx.flush_cpu()
+            if exec_span is not None:
+                exec_span.set("write", write)
+                rows = getattr(result, "rowcount", None)
+                if rows is not None:
+                    exec_span.set("rows", rows)
             with self._lock:
                 self.stats.statements_executed += 1
                 if write:
@@ -422,6 +460,7 @@ class DatabaseServer:
         prepared: PreparedStatement,
         bindings: List[tuple],
         txn: Optional[Transaction] = None,
+        span=None,
     ) -> List[BindingOutcome]:
         if not bindings:
             return []
@@ -433,13 +472,27 @@ class DatabaseServer:
             # Per-binding fallback: each binding keeps the exact
             # single-statement semantics (stats, locks, invalidation
             # broadcasts, undo recording) — only the transport batched.
+            # Each binding hangs its own server.execute span under the
+            # batch's dispatch span.
             outcomes: List[BindingOutcome] = []
             for binding in bindings:
                 try:
-                    outcomes.append(self._run_prepared(prepared, binding, txn))
+                    outcomes.append(
+                        self._run_prepared(prepared, binding, txn, span)
+                    )
                 except Exception as exc:
                     outcomes.append(exc)
             return outcomes
+        exec_span = (
+            span.child(
+                "server.execute",
+                statement_id=prepared.statement_id,
+                demux=True,
+                bindings=len(bindings),
+            )
+            if span is not None
+            else None
+        )
         if txn is not None:
             self._lock_for_txn(txn, prepared.ast)
         with self._lock:
@@ -464,7 +517,13 @@ class DatabaseServer:
                 self.stats.batched_bindings += len(bindings)
                 self.stats.scans_saved += len(bindings) - 1
             return outcomes
+        except BaseException as exc:
+            if exec_span is not None:
+                exec_span.set("error", repr(exc))
+            raise
         finally:
+            if exec_span is not None:
+                exec_span.end()
             with self._lock:
                 self._active -= 1
 
@@ -490,6 +549,17 @@ class DatabaseServer:
             self._catalog_version += 1
         # Out-of-band DDL changes schema underneath every cached result.
         self.broadcast_invalidation(None)
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Every server counter as one plain dict (taken under the
+        server lock, so batched_* never tears against scans_saved)."""
+        with self._lock:
+            snap = dict(asdict(self.stats))
+            snap["prepared_cached"] = len(self._plan_cache)
+            snap["registered_caches"] = len(self._caches)
+            snap["active"] = self._active
+        return snap
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

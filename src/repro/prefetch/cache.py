@@ -349,6 +349,27 @@ class ResultCache:
     def clear_stats(self) -> None:
         self.stats = CacheStats()
 
+    def stats_snapshot(self) -> dict:
+        """Every cache counter (plus occupancy) as one plain dict —
+        the shape ``MetricsRegistry`` sources and benchmarks consume
+        instead of peeking at ``cache.stats`` attributes."""
+        with self._lock:
+            stats = self.stats
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "lookups": stats.lookups,
+                "hit_rate": stats.hit_rate,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+                "expirations": stats.expirations,
+                "shared_flights": stats.shared_flights,
+                "size": len(self._entries),
+                "completed": self._completed,
+                "capacity": self.capacity,
+                "ttl_s": self.ttl_s,
+            }
+
     # ------------------------------------------------------------------
     def _expired_locked(self, entry: _Entry) -> bool:
         """Has a published entry outlived the TTL? (lock held)"""

@@ -643,6 +643,7 @@ def prefetch_source(
     speculation: Optional["SpeculationPolicy"] = None,
     coalesce: bool = False,
     coalesce_window: Optional[int] = None,
+    trace: bool = False,
 ):
     """Transform ``source`` with the full pipeline *plus* prefetch
     insertion — the companion of :func:`repro.transform.asyncify_source`.
@@ -667,6 +668,10 @@ def prefetch_source(
     runtime's dispatch coalescer merges into batched server calls, so
     the hint recommends opening connections with ``coalesce=True`` (and
     the given window).
+
+    ``trace=True`` adds an end-to-end tracing hint (``'trace': True``):
+    the runtime should open its connections with ``trace=True`` so
+    every request records a span tree (see :mod:`repro.obs.trace`).
     """
     from ..transform.asyncify import asyncify_source
 
@@ -710,6 +715,8 @@ def prefetch_source(
                     f"coalesce_window must be >= 2, got {coalesce_window}"
                 )
             hints["coalesce_window"] = int(coalesce_window)
+    if trace:
+        hints["trace"] = True
     if hints:
         result.source = f"__repro_prefetch__ = {hints!r}\n{result.source}"
     return result

@@ -242,6 +242,7 @@ class AioConnection:
         """
         loop = asyncio.get_running_loop()  # before any side effect
         handle = self._connection.submit_query(query, list(params))
+        self._observe(handle)
         return AioQueryHandle(self._wrap(handle, loop), label=handle.label)
 
     submit_update = submit_query
@@ -258,8 +259,24 @@ class AioConnection:
         """
         loop = asyncio.get_running_loop()  # before any side effect
         handle = self._connection.speculate_query(query, list(params), site=site)
+        self._observe(handle)
         return AioSpeculativeHandle(
             self._wrap(handle, loop), handle, label=handle.label
+        )
+
+    def _observe(self, handle) -> None:
+        """Close the observability loop for a handle no blocking fetch
+        will ever touch: the coroutine awaits the wrapped future
+        directly, so completion latency and root-span end are recorded
+        from the pipeline future's done callback instead."""
+        pipeline = self._connection.pipeline
+        span = getattr(handle, "span", None)
+        if span is None and pipeline.metrics is None:
+            return
+        if span is not None:
+            span.set("runtime", "aio")
+        handle.future.add_done_callback(
+            lambda _done, h=handle: pipeline.note_completion(h)
         )
 
     def _wrap(self, handle, loop) -> "asyncio.Future[Any]":
@@ -291,6 +308,17 @@ class AioConnection:
     async def gather(self, handles: Iterable[AioQueryHandle]) -> List[Any]:
         """Fetch many handles, results in submission order."""
         return list(await asyncio.gather(*handles))
+
+    def stats_snapshot(self) -> dict:
+        """This front end's counters plus the wrapped connection's
+        snapshot, as one plain dict."""
+        snap = self._connection.stats_snapshot()
+        snap["aio"] = {
+            "submitted": self.stats.submitted,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+        }
+        return snap
 
     def close(self) -> None:
         self._connection.close()
@@ -344,6 +372,8 @@ def aio_connect(
     result_cache=None,
     coalesce: bool = False,
     coalesce_window: Optional[int] = None,
+    trace: bool = False,
+    metrics=None,
 ) -> AioConnection:
     """Open an :class:`AioConnection` on a :class:`repro.db.Database`.
 
@@ -354,7 +384,10 @@ def aio_connect(
     ``coalesce_window`` enable set-oriented dispatch on the wrapped
     connection's pipeline: coroutine submits queued behind the worker
     pool merge into batched server calls exactly as sync submits do
-    (one coalescer, shared by both front ends).
+    (one coalescer, shared by both front ends).  ``trace`` / ``metrics``
+    attach observability exactly as ``Database.connect`` does; the aio
+    front end records completion latencies from done callbacks (no
+    blocking fetch ever runs).
     """
     return AioConnection(
         database.connect(
@@ -362,6 +395,8 @@ def aio_connect(
             result_cache=result_cache,
             coalesce=coalesce,
             coalesce_window=coalesce_window,
+            trace=trace,
+            metrics=metrics,
         )
     )
 

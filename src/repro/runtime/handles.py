@@ -17,12 +17,17 @@ class QueryHandle:
     the calling (application) thread.
     """
 
-    __slots__ = ("_future", "_submitted_at", "_label")
+    __slots__ = ("_future", "_submitted_at", "_label", "span")
 
-    def __init__(self, future: "Future[Any]", label: str = "") -> None:
+    def __init__(
+        self, future: "Future[Any]", label: str = "", span: Any = None
+    ) -> None:
         self._future = future
         self._submitted_at = time.perf_counter()
         self._label = label
+        #: Root trace span for this request (None unless tracing is on);
+        #: the pipeline attaches it at dispatch and ends it at fetch.
+        self.span = span
 
     @property
     def future(self) -> "Future[Any]":

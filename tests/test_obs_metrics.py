@@ -1,0 +1,180 @@
+"""Unit coverage for repro.obs.metrics: instruments, percentile math,
+and the unified registry's snapshot/source machinery."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+class TestBuckets:
+    def test_default_bounds_are_strictly_increasing(self):
+        bounds = default_latency_buckets()
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_default_bounds_span_microseconds_to_a_minute(self):
+        bounds = default_latency_buckets()
+        assert bounds[0] <= 1e-6
+        assert bounds[-1] >= 60.0
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_reset(self):
+        counter = Counter("ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set(self):
+        gauge = Gauge("depth")
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogram:
+    def test_empty_percentiles_are_none(self):
+        hist = Histogram("lat")
+        assert hist.count == 0
+        assert hist.percentile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] is None
+
+    def test_single_observation_clamps_every_percentile(self):
+        hist = Histogram("lat")
+        hist.observe(0.007)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert hist.percentile(q) == pytest.approx(0.007)
+
+    def test_percentiles_are_monotonic_and_within_range(self):
+        hist = Histogram("lat")
+        for i in range(1, 1001):
+            hist.observe(i / 1000.0)  # 1ms .. 1s uniform
+        p50 = hist.percentile(0.5)
+        p90 = hist.percentile(0.9)
+        p99 = hist.percentile(0.99)
+        assert 0.001 <= p50 <= p90 <= p99 <= 1.0
+        assert p50 == pytest.approx(0.5, rel=0.35)
+        assert p99 > p50
+
+    def test_snapshot_carries_count_sum_and_extremes(self):
+        hist = Histogram("lat")
+        for value in (0.002, 0.004, 0.006):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.012)
+        assert snap["min"] == pytest.approx(0.002)
+        assert snap["max"] == pytest.approx(0.006)
+        assert snap["mean"] == pytest.approx(0.004)
+        for key in ("p50", "p90", "p95", "p99"):
+            assert snap[key] is not None
+
+    def test_merge_folds_counts_and_extremes(self):
+        a = Histogram("lat")
+        b = Histogram("lat")
+        a.observe(0.001)
+        b.observe(0.1)
+        b.observe(0.2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.snapshot()["min"] == pytest.approx(0.001)
+        assert a.snapshot()["max"] == pytest.approx(0.2)
+        # the source histogram is untouched
+        assert b.count == 2
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("lat")
+        b = Histogram("lat", bounds=(0.1, 1.0, 10.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_reset_clears_everything(self):
+        hist = Histogram("lat")
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.percentile(0.5) is None
+
+
+class TestRegistry:
+    def test_instruments_are_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat").observe(0.004)
+        reg.register_source("pipeline", lambda: {"submits": 7})
+        text = reg.to_json()
+        doc = json.loads(text)
+        assert doc["counters"]["ops"] == 3
+        assert doc["gauges"]["depth"] == 2.0
+        assert doc["histograms"]["lat"]["count"] == 1
+        assert doc["histograms"]["lat"]["p99"] is not None
+        assert doc["sources"]["pipeline"] == {"submits": 7}
+
+    def test_source_name_collision_auto_suffixes(self):
+        reg = MetricsRegistry()
+        reg.register_source("cache", lambda: {"n": 1})
+        name = reg.register_source("cache", lambda: {"n": 2})
+        assert name != "cache"
+        snap = reg.snapshot()["sources"]
+        assert snap["cache"] == {"n": 1}
+        assert snap[name] == {"n": 2}
+
+    def test_source_replace_overwrites(self):
+        reg = MetricsRegistry()
+        reg.register_source("cache", lambda: {"n": 1})
+        name = reg.register_source("cache", lambda: {"n": 2}, replace=True)
+        assert name == "cache"
+        assert reg.snapshot()["sources"] == {"cache": {"n": 2}}
+
+    def test_unregister_source(self):
+        reg = MetricsRegistry()
+        reg.register_source("cache", lambda: {"n": 1})
+        reg.unregister_source("cache")
+        assert reg.snapshot()["sources"] == {}
+
+    def test_failing_source_renders_error_stub(self):
+        reg = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        reg.register_source("broken", broken)
+        snap = reg.snapshot()["sources"]["broken"]
+        assert "error" in snap and "boom" in snap["error"]
+        # ...and the snapshot still JSON-serializes
+        json.loads(reg.to_json())
+
+    def test_reset_clears_instruments_but_keeps_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc()
+        reg.histogram("lat").observe(1.0)
+        reg.register_source("s", lambda: {"n": 1})
+        reg.reset()
+        assert reg.snapshot()["counters"]["ops"] == 0
+        assert reg.snapshot()["histograms"]["lat"]["count"] == 0
+        assert reg.snapshot()["sources"] == {"s": {"n": 1}}
+
+    def test_histograms_view(self):
+        reg = MetricsRegistry()
+        reg.histogram("a").observe(1.0)
+        reg.histogram("b")
+        hists = reg.histograms()
+        assert set(hists) == {"a", "b"}
+        assert hists["a"].count == 1

@@ -1,0 +1,233 @@
+"""End-to-end trace correctness: span trees through the full pipeline,
+coalesced-batch linkage, speculation settlement, and the no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.prefetch.cache import ResultCache
+
+SQL = "SELECT count(*) FROM t WHERE grp = ?"
+
+
+@pytest.fixture
+def grouped(db):
+    db.create_table("t", ("a", "int"), ("grp", "int"))
+    db.bulk_load("t", [(i, i % 4) for i in range(40)])
+    return db
+
+
+def hold_worker(conn):
+    """Occupy the connection's (single) async worker so submits pile up
+    behind the executor; returns the release event."""
+    gate = threading.Event()
+    conn.executor.submit(gate.wait)
+    return gate
+
+
+def by_name(spans, name):
+    return [span for span in spans if span.name == name]
+
+
+class TestSpanUnit:
+    def test_end_is_idempotent_and_records_once(self):
+        tracer = Tracer()
+        span = tracer.start("query")
+        span.end()
+        first_end = span.end_s
+        span.end()
+        assert span.end_s == first_end
+        assert len(tracer) == 1
+
+    def test_child_shares_trace_and_parents_correctly(self):
+        tracer = Tracer()
+        root = tracer.start("query")
+        child = root.child("dispatch")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_context_manager_stamps_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.start("query") as span:
+                raise ValueError("boom")
+        assert span.ended
+        assert "boom" in span.attrs["error"]
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(capacity=8)
+        for i in range(50):
+            tracer.start("query", i=i).end()
+        assert len(tracer) == 8
+        assert [span.attrs["i"] for span in tracer.spans()] == list(range(42, 50))
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.start("query").end()
+        assert len(tracer) == 0
+
+    def test_attrs_set_after_end_survive_in_export(self):
+        tracer = Tracer()
+        span = tracer.start("query")
+        span.end()
+        span.set("wasted", True)
+        assert tracer.export()[0]["attrs"]["wasted"] is True
+
+
+class TestDisabledPath:
+    def test_untraced_connection_records_no_spans(self, grouped):
+        with grouped.connect(
+            async_workers=2, coalesce=True,
+            result_cache=ResultCache(capacity=16),
+        ) as conn:
+            handle = conn.submit_query(SQL, [1])
+            conn.fetch_result(handle)
+            conn.execute_query(SQL, [2])
+        assert len(grouped.tracer) == 0
+        assert not grouped.tracer.enabled
+
+
+class TestSingleQueryTree:
+    def test_submit_covers_every_stage(self, grouped):
+        with grouped.connect(
+            async_workers=2, coalesce=True, trace=True,
+            result_cache=ResultCache(capacity=16),
+        ) as conn:
+            handle = conn.submit_query(SQL, [1])
+            assert conn.fetch_result(handle).scalar() == 10
+        spans = grouped.tracer.spans()
+        roots = by_name(spans, "query")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.attrs["mode"] == "submit"
+        assert root.attrs["sql"] == SQL
+        assert root.attrs["cache"] == "miss"
+        assert root.ended
+        tree = grouped.tracer.trace(root.trace_id)
+        names = {span.name for span in tree}
+        assert {"query", "cache", "coalesce", "dispatch", "fetch"} <= names
+        # the server span hangs off the dispatch span
+        dispatch = by_name(tree, "dispatch")[0]
+        execute = by_name(spans, "server.execute")[0]
+        assert execute.parent_id == dispatch.span_id
+        assert execute.attrs["write"] is False
+        assert execute.attrs["rows"] == 1
+        # every child belongs to the root's tree
+        for name in ("cache", "coalesce", "fetch"):
+            assert by_name(tree, name)[0].parent_id == root.span_id
+
+    def test_blocking_execute_traces_too(self, grouped):
+        with grouped.connect(async_workers=2, trace=True) as conn:
+            conn.execute_query(SQL, [0])
+        roots = by_name(grouped.tracer.spans(), "query")
+        assert len(roots) == 1
+        assert roots[0].attrs["mode"] == "execute"
+
+    def test_cache_hit_marks_outcome(self, grouped):
+        with grouped.connect(
+            async_workers=2, trace=True,
+            result_cache=ResultCache(capacity=16),
+        ) as conn:
+            conn.execute_query(SQL, [1])
+            conn.execute_query(SQL, [1])
+        roots = by_name(grouped.tracer.spans(), "query")
+        assert [root.attrs["cache"] for root in roots] == ["miss", "hit"]
+
+
+class TestCoalescedBatch:
+    def test_n_trees_share_one_batched_dispatch(self, grouped):
+        n = 6
+        grouped.tracer.clear()
+        with grouped.connect(async_workers=1, coalesce=True, trace=True) as conn:
+            gate = hold_worker(conn)
+            handles = [conn.submit_query(SQL, [g % 4]) for g in range(n)]
+            gate.set()
+            assert [conn.fetch_result(h).scalar() for h in handles] == [10] * n
+            assert conn.stats.coalesced_batches == 1
+        spans = grouped.tracer.spans()
+        roots = by_name(spans, "query")
+        assert len(roots) == n
+        # every member root is its own trace, marked as batch member
+        assert len({root.trace_id for root in roots}) == n
+        batch_spans = [
+            span for span in by_name(spans, "dispatch")
+            if span.attrs.get("batched")
+        ]
+        assert len(batch_spans) == 1
+        batch = batch_spans[0]
+        assert batch.attrs["bindings"] == n
+        for root in roots:
+            assert root.attrs["coalesced"] is True
+            assert root.attrs["dispatch_span"] == batch.span_id
+            assert root.span_id in batch.links
+        # ONE server execution answered the whole batch, demuxed
+        executes = by_name(spans, "server.execute")
+        assert len(executes) == 1
+        assert executes[0].parent_id == batch.span_id
+        assert executes[0].attrs["demux"] is True
+        assert executes[0].attrs["bindings"] == n
+        # each member still has its own queue-residency span
+        coalesces = by_name(spans, "coalesce")
+        assert len(coalesces) == n
+        assert all(span.attrs["batch_size"] == n for span in coalesces)
+
+
+class TestSpeculationSpans:
+    def test_wasted_speculation_is_marked_and_separate(self, grouped):
+        with grouped.connect(async_workers=2, trace=True) as conn:
+            conn.speculate_query(SQL, [1], site="card")
+            winner = conn.submit_query(SQL, [2])
+            assert conn.fetch_result(winner).scalar() == 10
+        # close() drained the never-fetched speculation as waste
+        spans = grouped.tracer.spans()
+        spec_roots = [
+            span for span in by_name(spans, "query")
+            if span.attrs["mode"] == "speculate"
+        ]
+        assert len(spec_roots) == 1
+        spec = spec_roots[0]
+        assert spec.attrs["wasted"] is True
+        assert spec.attrs["site"] == "card"
+        assert spec.ended
+        winner_roots = [
+            span for span in by_name(spans, "query")
+            if span.attrs["mode"] == "submit"
+        ]
+        assert len(winner_roots) == 1
+        # the wasted span is never attached to the winner's tree
+        assert spec.trace_id != winner_roots[0].trace_id
+        winner_tree = grouped.tracer.trace(winner_roots[0].trace_id)
+        assert spec not in winner_tree
+
+    def test_fetched_speculation_is_a_hit(self, grouped):
+        with grouped.connect(async_workers=2, trace=True) as conn:
+            handle = conn.speculate_query(SQL, [1], site="card")
+            assert conn.fetch_result(handle).scalar() == 10
+        spec = [
+            span for span in by_name(grouped.tracer.spans(), "query")
+            if span.attrs["mode"] == "speculate"
+        ][0]
+        assert spec.attrs["wasted"] is False
+        names = {
+            span.name for span in grouped.tracer.trace(spec.trace_id)
+        }
+        assert "fetch" in names
+
+
+class TestRendering:
+    def test_format_traces_shows_the_tree(self, grouped):
+        with grouped.connect(async_workers=2, coalesce=True, trace=True) as conn:
+            handle = conn.submit_query(SQL, [1])
+            conn.fetch_result(handle)
+        text = grouped.tracer.format_traces()
+        for name in ("query", "dispatch", "server.execute", "fetch"):
+            assert name in text
+
+    def test_export_is_json_ready(self, grouped):
+        import json
+
+        with grouped.connect(async_workers=2, trace=True) as conn:
+            conn.execute_query(SQL, [0])
+        doc = json.dumps(grouped.tracer.export())
+        assert "server.execute" in doc

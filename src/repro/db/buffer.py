@@ -83,6 +83,40 @@ class BufferPool:
                 self._pages.move_to_end(key)
         return False
 
+    def access_many(self, name: str, page_nos) -> int:
+        """Touch a run of pages; returns the hit count.
+
+        The hit/miss split is decided under one lock acquisition (the
+        batch-scan path touches thousands of pages per statement; a lock
+        round trip per page would dominate), then misses pay the disk in
+        the caller's order — preserving the sequential access pattern the
+        disk model rewards — and install together.
+        """
+        ordered = list(page_nos)
+        misses = []
+        with self._lock:
+            for page_no in ordered:
+                key = (name, page_no)
+                if key in self._pages:
+                    self._pages.move_to_end(key)
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+                    misses.append(page_no)
+        for page_no in misses:
+            self._disk.read(name, page_no)
+        if misses:
+            with self._lock:
+                for page_no in misses:
+                    key = (name, page_no)
+                    if key not in self._pages:
+                        if len(self._pages) >= self._capacity:
+                            self._pages.popitem(last=False)
+                        self._pages[key] = None
+                    else:
+                        self._pages.move_to_end(key)
+        return len(ordered) - len(misses)
+
     def install(self, name: str, page_no: int) -> None:
         """Install a page without charging IO (used after page writes)."""
         key = (name, page_no)

@@ -37,9 +37,6 @@ class Database:
         self.buffer = BufferPool(profile.buffer_pool_pages, self.disk)
         self.scans = SharedScanManager(enabled=shared_scans)
         self.catalog = Catalog(self.disk)
-        self.server = DatabaseServer(
-            self.catalog, self.buffer, self.scans, profile, self.meter
-        )
         #: Database-wide observability surfaces.  The tracer starts
         #: disabled (``connect(trace=True)`` enables it); the registry
         #: always exists — server and IO stats register as sources up
@@ -47,6 +44,14 @@ class Database:
         #: costs nothing per query.
         self.tracer = Tracer(enabled=False)
         self.metrics = MetricsRegistry()
+        self.server = DatabaseServer(
+            self.catalog,
+            self.buffer,
+            self.scans,
+            profile,
+            self.meter,
+            metrics=self.metrics,
+        )
         self.metrics.register_source("server", self.server.stats_snapshot)
         self.metrics.register_source("io", self.io_report)
 
@@ -125,6 +130,7 @@ class Database:
         coalesce_window=None,
         trace: bool = False,
         metrics=None,
+        executor: Optional[str] = None,
     ):
         """Open a client connection (imported lazily to avoid a cycle).
 
@@ -147,6 +153,13 @@ class Database:
         :attr:`metrics` registry, or a registry instance (benchmarks
         keep a private one per measured variant).  Both default to off
         — the hot path then pays a single ``None`` test.
+
+        ``executor`` picks the execution engine for statements issued
+        through this connection: ``"columnar"`` (batch-at-a-time scans
+        with late materialization — the default) or ``"row"`` (the
+        tuple-at-a-time engine, kept as a correctness oracle).  ``None``
+        defers to the server default (the ``REPRO_EXECUTOR``
+        environment variable, else columnar).
         """
         from ..client.connection import Connection
 
@@ -164,6 +177,7 @@ class Database:
             coalesce_window=coalesce_window,
             tracer=tracer,
             metrics=metrics,
+            executor=self.server.resolve_executor(executor),
         )
 
     def register_cache(self, cache) -> None:

@@ -83,6 +83,11 @@ class HashIndex:
     def entry_count(self) -> int:
         return self._entries
 
+    @property
+    def key_count(self) -> int:
+        """Exact number of distinct keys (drives the batch cost gate)."""
+        return len(self._buckets)
+
     def keys(self) -> Iterator[Any]:
         return iter(self._buckets)
 
@@ -161,4 +166,12 @@ class OrderedIndex:
 
     @property
     def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def key_count(self) -> int:
+        """Distinct-key *estimate*: the entry count (an upper bound —
+        exact counting would scan the whole sorted list).  The batch
+        cost gate only needs rows-per-key to the right order of
+        magnitude."""
         return len(self._entries)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from ..buffer import BufferPool
 from ..catalog import Catalog
@@ -35,7 +35,23 @@ class ExecutionContext:
     #: autocommit.  Write operators record undo entries through the
     #: ``record_*`` helpers below.
     txn: Optional["Transaction"] = None
+    #: Which executor runs this statement: "row" (tuple-at-a-time) or
+    #: "columnar" (batch-at-a-time over selection vectors).
+    executor: str = "row"
     _cpu_accum_s: float = 0.0
+    #: Per-batch scan accounting the columnar executor fills in; the
+    #: server folds these into the metrics registry and the execute span.
+    scan_batches: int = 0
+    scan_rows: int = 0
+    scan_selectivities: List[float] = field(default_factory=list)
+
+    def note_scan_batch(self, scanned: int, kept: int) -> None:
+        """Record one column batch: ``scanned`` candidate rows entered
+        the filter, ``kept`` survived."""
+        self.scan_batches += 1
+        self.scan_rows += scanned
+        if scanned:
+            self.scan_selectivities.append(kept / scanned)
 
     def charge_cpu(self, rows: int = 0, fixed: bool = False) -> None:
         cost = rows * self.profile.cpu_per_row_s
@@ -56,9 +72,16 @@ class ExecutionContext:
         The batch-demux operator evaluates per-binding work on
         sub-contexts (each carries its binding's params) but the server
         flushes only the batch context — one sleep for the whole batch.
+        Scan accounting travels along so batch metrics stay complete.
         """
         self._cpu_accum_s += other._cpu_accum_s
         other._cpu_accum_s = 0.0
+        self.scan_batches += other.scan_batches
+        self.scan_rows += other.scan_rows
+        self.scan_selectivities.extend(other.scan_selectivities)
+        other.scan_batches = 0
+        other.scan_rows = 0
+        other.scan_selectivities = []
 
     def derive(self, params: Sequence) -> "ExecutionContext":
         """A sub-context sharing every resource but carrying ``params``
@@ -71,11 +94,17 @@ class ExecutionContext:
             meter=self.meter,
             params=params,
             txn=self.txn,
+            executor=self.executor,
         )
 
     def touch_page(self, io_name: str, page_no: int) -> bool:
         """Access one page through the buffer pool; True on hit."""
         return self.buffer.access(io_name, page_no)
+
+    def touch_pages(self, io_name: str, page_nos: Iterable[int]) -> int:
+        """Access a run of pages in one buffer-pool round trip; returns
+        the hit count (full scans use this instead of per-page calls)."""
+        return self.buffer.access_many(io_name, page_nos)
 
     # ------------------------------------------------------------------
     # transactional undo recording (no-ops under autocommit)

@@ -28,7 +28,7 @@ from ..sql.ast_nodes import BinaryOp, Expr, Param, SelectStmt
 from .context import ExecutionContext
 from .expr_eval import RowEvaluator
 from .operators import RowIdRow, SeqScanOp
-from .planner import SelectPlan, _conjuncts, _equality_on_column
+from .planner import SelectPlan, _conjuncts, _equality_on_column, prefer_batch_scan
 from .result import QueryResult
 
 #: Per-binding result slot: the binding's :class:`QueryResult`, or the
@@ -73,14 +73,23 @@ def _bucket_predicate(stmt: SelectStmt, info) -> Optional[Tuple[int, Expr]]:
 
 
 def execute_batch_select(
-    plan: SelectPlan, ctx: ExecutionContext, bindings: List[tuple]
+    plan: SelectPlan,
+    ctx: ExecutionContext,
+    bindings: List[tuple],
+    span=None,
 ) -> List[BindingOutcome]:
     """Evaluate ``plan`` once over every binding set in ``bindings``.
 
     The caller (the server's batch path) owns statement-level stats and
     the CPU flush; this function owns the single lock acquisition, the
-    single access pass, and per-binding fault isolation.  Outcomes come
+    access strategy, and per-binding fault isolation.  Outcomes come
     back in binding order.
+
+    The access strategy is *cost-gated* per batch: an indexed plan still
+    prefers one shared scan when distinct-bindings × probe cost exceeds
+    the scan cost (a batch covering most of the key space re-reads the
+    table through the index anyway, without the sequential IO).  The
+    chosen strategy lands on ``span`` as the ``strategy`` attribute.
     """
     stmt = plan._stmt
     info = plan._info
@@ -114,25 +123,62 @@ def execute_batch_select(
             bucket.append(index)
 
     ctx.charge_cpu(fixed=True)  # ONE per-statement fixed cost for the batch
-    single_scan = isinstance(plan._access, SeqScanOp)
+    columnar = ctx.executor == "columnar"
+    distinct = len(order) + len(loose)
+    single_scan = prefer_batch_scan(info, plan._access, distinct, ctx.profile)
+    scan_op = (
+        plan._access
+        if isinstance(plan._access, SeqScanOp)
+        else SeqScanOp(info)
+    )
+    if span is not None:
+        span.set("strategy", "scan" if single_scan else "probe")
+        span.set("executor", ctx.executor)
 
     with info.heap.lock.reading():  # ONE lock acquisition for the batch
         scanned: Optional[List[RowIdRow]] = None
-        buckets: Optional[Dict[object, List[RowIdRow]]] = None
+        scanned_sel: Optional[List[int]] = None
+        table_columns = None
+        buckets: Optional[Dict[object, list]] = None
         value_expr: Optional[Expr] = None
         if single_scan:
-            scanned = plan._access.run(ctx)  # the single shared scan
             predicate = _bucket_predicate(stmt, info)
-            if predicate is not None:
-                position, value_expr = predicate
-                buckets = {}
-                for row_id, row in scanned:
-                    buckets.setdefault(row[position], []).append((row_id, row))
-                ctx.charge_cpu(rows=len(scanned))
+            if columnar:
+                # The single shared scan, batch-at-a-time: bucket by
+                # partitioning each batch's selection vector on the
+                # equality column — no tuples are built.
+                table_columns = info.heap.columns_view()
+                key_column = (
+                    table_columns[predicate[0]] if predicate is not None else None
+                )
+                if predicate is not None:
+                    value_expr = predicate[1]
+                    buckets = {}
+                scanned_sel = []
+                for batch in scan_op.run_columnar(ctx):
+                    ctx.note_scan_batch(len(batch.sel), len(batch.sel))
+                    scanned_sel.extend(batch.sel)
+                    if buckets is not None:
+                        for rid in batch.sel:
+                            buckets.setdefault(key_column[rid], []).append(rid)
+                if buckets is not None:
+                    ctx.charge_cpu(rows=len(scanned_sel))
+            else:
+                scanned = scan_op.run(ctx)
+                if predicate is not None:
+                    position, value_expr = predicate
+                    buckets = {}
+                    for row_id, row in scanned:
+                        buckets.setdefault(row[position], []).append(
+                            (row_id, row)
+                        )
+                    ctx.charge_cpu(rows=len(scanned))
 
         def run_one(binding: tuple) -> BindingOutcome:
             sub = ctx.derive(binding)
             try:
+                if columnar:
+                    return _run_one_columnar(plan, sub, binding)
                 if not single_scan:
                     # Indexed plan: keep the access path, probe once per
                     # distinct binding (duplicates were deduped above).
@@ -157,6 +203,30 @@ def execute_batch_select(
                 return exc
             finally:
                 ctx.absorb_cpu(sub)
+
+        def _run_one_columnar(
+            plan: SelectPlan, sub: ExecutionContext, binding: tuple
+        ) -> BindingOutcome:
+            if not single_scan:
+                sel: List[int] = []
+                columns = info.heap.columns_view()
+                for batch in plan._access.run_columnar(sub):
+                    sub.note_scan_batch(len(batch.sel), len(batch.sel))
+                    sel.extend(batch.sel)
+            elif buckets is not None:
+                evaluator = RowEvaluator(info.heap.schema, info.name, binding)
+                key = evaluator.evaluate(value_expr, ())
+                columns = table_columns
+                try:
+                    sel = buckets.get(key, [])
+                except TypeError:
+                    sel = scanned_sel  # unhashable key: WHERE re-applies
+            else:
+                columns = table_columns
+                sel = scanned_sel
+            # The bucket (or scan) holds candidates, not matches: the
+            # full WHERE clause re-applies per binding, vectorized.
+            return plan._finalize_columnar(sub, sel, columns, apply_where=True)
 
         for binding in order:
             outcome = run_one(binding)

@@ -1,13 +1,22 @@
-"""Row-at-a-time expression evaluation with SQL NULL semantics.
+"""Expression evaluation with SQL NULL semantics — row- and batch-wise.
 
 Comparisons involving NULL yield None (unknown); logical operators use
 three-valued logic; a WHERE clause accepts a row only when the predicate
 is strictly True.
+
+:class:`RowEvaluator` interprets the AST once per row (the classic
+executor).  :class:`ColumnarEvaluator` is the vectorized counterpart:
+it filters *selection vectors* (lists of row ids) against whole column
+lists — one comprehension per predicate conjunct instead of one AST walk
+per row — and gathers projection values column-at-a-time.  Expressions
+without a single-column fast path fall back to the row evaluator over a
+lazy column-backed row view, so three-valued-logic semantics are
+identical by construction.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import PlanError, UnknownColumnError
 from ..sql.ast_nodes import (
@@ -154,3 +163,256 @@ def _truthy(value: Any) -> bool:
     if isinstance(value, bool):
         return value
     return bool(value)
+
+
+def and_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten a top-level AND tree into its conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, LogicalOp) and expr.op == "and":
+        return and_conjuncts(expr.left) + and_conjuncts(expr.right)
+    return [expr]
+
+
+def has_column_ref(expr: Expr) -> bool:
+    """True when evaluating ``expr`` reads any row column."""
+    if isinstance(expr, (Literal, Param)):
+        return False
+    if isinstance(expr, ColumnRef):
+        return True
+    if isinstance(expr, (BinaryOp, LogicalOp)):
+        return has_column_ref(expr.left) or has_column_ref(expr.right)
+    if isinstance(expr, NotOp):
+        return has_column_ref(expr.operand)
+    if isinstance(expr, IsNull):
+        return has_column_ref(expr.operand)
+    if isinstance(expr, InList):
+        return has_column_ref(expr.operand) or any(
+            has_column_ref(item) for item in expr.items
+        )
+    if isinstance(expr, Between):
+        return (
+            has_column_ref(expr.operand)
+            or has_column_ref(expr.low)
+            or has_column_ref(expr.high)
+        )
+    return True  # Aggregate/Star/unknown: stay conservative
+
+
+class _ColumnCursor:
+    """Lazy row facade over column storage: ``row[pos]`` reads
+    ``columns[pos][rid]`` — lets :class:`RowEvaluator` run unmodified
+    over columnar data without materializing a tuple per row."""
+
+    __slots__ = ("columns", "rid")
+
+    def __init__(self, columns: Tuple[List[Any], ...]) -> None:
+        self.columns = columns
+        self.rid = 0
+
+    def __getitem__(self, position: int) -> Any:
+        return self.columns[position][self.rid]
+
+
+class ColumnarEvaluator:
+    """Vectorized evaluation of one statement's expressions over one
+    table's column lists.
+
+    Not thread-safe: create one per statement execution (the generic
+    fallback shares a mutable cursor).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        table: str,
+        params: Sequence,
+        columns: Tuple[List[Any], ...],
+    ) -> None:
+        self._schema = schema
+        self._table = table
+        self._columns = columns
+        self._rows = RowEvaluator(schema, table, params)
+        self._cursor = _ColumnCursor(columns)
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def filter(self, where: Optional[Expr], sel: List[int]) -> List[int]:
+        """Narrow a selection vector to the rows where ``where`` is
+        strictly True.  Top-level AND decomposes into conjuncts — each
+        narrows the vector before the next runs (short-circuit across
+        the batch rather than per row)."""
+        if where is None:
+            return sel
+        for conjunct in and_conjuncts(where):
+            if not sel:
+                break
+            sel = self._filter_one(conjunct, sel)
+        return sel
+
+    def _filter_one(self, expr: Expr, sel: List[int]) -> List[int]:
+        if isinstance(expr, BinaryOp):
+            fast = self._filter_comparison(expr, sel)
+            if fast is not None:
+                return fast
+        elif isinstance(expr, IsNull):
+            operand = self._column_of(expr.operand)
+            if operand is not None:
+                if expr.negated:
+                    return [rid for rid in sel if operand[rid] is not None]
+                return [rid for rid in sel if operand[rid] is None]
+        elif isinstance(expr, InList):
+            fast = self._filter_in_list(expr, sel)
+            if fast is not None:
+                return fast
+        elif isinstance(expr, Between):
+            fast = self._filter_between(expr, sel)
+            if fast is not None:
+                return fast
+        # Generic fallback: the row evaluator over a lazy column cursor —
+        # identical 3VL semantics, no tuple materialization.
+        cursor = self._cursor
+        evaluate = self._rows.evaluate
+        out: List[int] = []
+        for rid in sel:
+            cursor.rid = rid
+            if evaluate(expr, cursor) is True:
+                out.append(rid)
+        return out
+
+    def _filter_comparison(
+        self, expr: BinaryOp, sel: List[int]
+    ) -> Optional[List[int]]:
+        """``column <op> constant`` (either side) in one comprehension.
+
+        Returns None when the shape doesn't match (caller falls back).
+        """
+        op = expr.op
+        if op not in ("=", "<>", "<", "<=", ">", ">="):
+            return None
+        column = self._column_of(expr.left)
+        if column is not None and not has_column_ref(expr.right):
+            const = self._rows.evaluate(expr.right, ())
+        else:
+            column = self._column_of(expr.right)
+            if column is None or has_column_ref(expr.left):
+                return None
+            const = self._rows.evaluate(expr.left, ())
+            op = _FLIP[op]
+        if const is None:
+            return []  # comparison with NULL is never True
+        if op == "=":
+            return [rid for rid in sel if column[rid] == const]
+        if op == "<>":
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and column[rid] != const
+            ]
+        if op == "<":
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and column[rid] < const
+            ]
+        if op == "<=":
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and column[rid] <= const
+            ]
+        if op == ">":
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and column[rid] > const
+            ]
+        return [
+            rid for rid in sel if column[rid] is not None and column[rid] >= const
+        ]
+
+    def _filter_in_list(
+        self, expr: InList, sel: List[int]
+    ) -> Optional[List[int]]:
+        column = self._column_of(expr.operand)
+        if column is None:
+            return None
+        if any(has_column_ref(item) for item in expr.items):
+            return None
+        items = [self._rows.evaluate(item, ()) for item in expr.items]
+        saw_null = any(item is None for item in items)
+        candidates: Any = [item for item in items if item is not None]
+        try:
+            candidates = set(candidates)
+        except TypeError:
+            pass  # unhashable constants: linear membership keeps == semantics
+        if expr.negated:
+            if saw_null:
+                return []  # NOT IN with a NULL item is never True
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and column[rid] not in candidates
+            ]
+        return [
+            rid
+            for rid in sel
+            if column[rid] is not None and column[rid] in candidates
+        ]
+
+    def _filter_between(
+        self, expr: Between, sel: List[int]
+    ) -> Optional[List[int]]:
+        column = self._column_of(expr.operand)
+        if column is None:
+            return None
+        if has_column_ref(expr.low) or has_column_ref(expr.high):
+            return None
+        low = self._rows.evaluate(expr.low, ())
+        high = self._rows.evaluate(expr.high, ())
+        if low is None or high is None:
+            return []
+        if expr.negated:
+            return [
+                rid
+                for rid in sel
+                if column[rid] is not None and not (low <= column[rid] <= high)
+            ]
+        return [
+            rid
+            for rid in sel
+            if column[rid] is not None and low <= column[rid] <= high
+        ]
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
+    def values(self, expr: Expr, sel: List[int]) -> List[Any]:
+        """Evaluate ``expr`` for every selected row, column-at-a-time."""
+        column = self._column_of(expr)
+        if column is not None:
+            return [column[rid] for rid in sel]
+        if not has_column_ref(expr):
+            value = self._rows.evaluate(expr, ())
+            return [value] * len(sel)
+        cursor = self._cursor
+        evaluate = self._rows.evaluate
+        out: List[Any] = []
+        for rid in sel:
+            cursor.rid = rid
+            out.append(evaluate(expr, cursor))
+        return out
+
+    def scalar(self, expr: Expr) -> Any:
+        """Evaluate a row-independent expression once."""
+        return self._rows.evaluate(expr, ())
+
+    # ------------------------------------------------------------------
+    def _column_of(self, expr: Expr) -> Optional[List[Any]]:
+        if isinstance(expr, ColumnRef):
+            return self._columns[self._schema.position(expr.name, self._table)]
+        return None
+
+
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}

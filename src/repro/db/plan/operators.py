@@ -29,12 +29,15 @@ from ..sql.ast_nodes import (
     SelectItem,
     Star,
 )
+from ..scans import ColumnBatch, iter_column_batches
 from ..storage import OrderKey
 from ..types import Row
 from .context import ExecutionContext
-from .expr_eval import RowEvaluator
+from .expr_eval import ColumnarEvaluator, RowEvaluator
 
 RowIdRow = Tuple[int, Row]
+#: A selection vector: row ids into the table's column lists.
+Selection = List[int]
 
 
 # ----------------------------------------------------------------------
@@ -49,17 +52,25 @@ class SeqScanOp:
         self._info = info
 
     def run(self, ctx: ExecutionContext) -> List[RowIdRow]:
+        self._scan_io(ctx)
+        rows = list(self._info.heap.iter_rows())
+        ctx.charge_cpu(rows=len(rows))
+        return rows
+
+    def _scan_io(self, ctx: ExecutionContext) -> None:
         heap = self._info.heap
         name = self._info.name
 
         def do_io() -> None:
-            for page_no in range(heap.page_count):
-                ctx.touch_page(name, page_no)
+            ctx.touch_pages(name, range(heap.page_count))
 
         ctx.scans.run(name, do_io)
-        rows = list(heap.iter_rows())
-        ctx.charge_cpu(rows=len(rows))
-        return rows
+
+    def run_columnar(self, ctx: ExecutionContext):
+        """Column batches over the whole table (IO identical to
+        :meth:`run`; no tuples are built)."""
+        self._scan_io(ctx)
+        return iter_column_batches(self._info.heap)
 
 
 class HashEqOp:
@@ -76,6 +87,13 @@ class HashEqOp:
         ctx.touch_page(self._index.io_name, self._index.page_for(value))
         row_ids = self._index.lookup(value)
         return _fetch_rows(ctx, self._info, row_ids)
+
+    def run_columnar(self, ctx: ExecutionContext) -> List[ColumnBatch]:
+        evaluator = RowEvaluator(self._info.heap.schema, self._info.name, ctx.params)
+        value = evaluator.evaluate(self._value_expr, ())
+        ctx.touch_page(self._index.io_name, self._index.page_for(value))
+        sel = _fetch_selection(ctx, self._info, self._index.lookup(value))
+        return _one_batch(self._info, sel)
 
 
 class ClusteredEqOp:
@@ -103,6 +121,15 @@ class ClusteredEqOp:
             results.append((row_id, row))
         ctx.charge_cpu(rows=len(results))
         return results
+
+    def run_columnar(self, ctx: ExecutionContext) -> List[ColumnBatch]:
+        heap = self._info.heap
+        evaluator = RowEvaluator(heap.schema, self._info.name, ctx.params)
+        value = evaluator.evaluate(self._value_expr, ())
+        low, high = heap.cluster_range(value)
+        return _one_batch(
+            self._info, _fetch_selection(ctx, self._info, range(low, high))
+        )
 
 
 class OrderedRangeOp:
@@ -135,6 +162,46 @@ class OrderedRangeOp:
             low, high, self._low_inclusive, self._high_inclusive
         )
         return _fetch_rows(ctx, self._info, row_ids)
+
+    def run_columnar(self, ctx: ExecutionContext) -> List[ColumnBatch]:
+        evaluator = RowEvaluator(self._info.heap.schema, self._info.name, ctx.params)
+        low = evaluator.evaluate(self._low, ()) if self._low is not None else None
+        high = evaluator.evaluate(self._high, ()) if self._high is not None else None
+        probe = low if low is not None else high
+        if probe is not None:
+            ctx.touch_page(self._index.io_name, self._index.page_for(probe))
+        row_ids = self._index.range(
+            low, high, self._low_inclusive, self._high_inclusive
+        )
+        return _one_batch(self._info, _fetch_selection(ctx, self._info, row_ids))
+
+
+def _fetch_selection(
+    ctx: ExecutionContext, info: TableInfo, row_ids
+) -> Selection:
+    """The columnar twin of :func:`_fetch_rows`: keep live row ids and
+    touch their distinct heap pages in first-encounter order (the same
+    IO the row path pays), but build no tuples."""
+    heap = info.heap
+    valid = heap.validity_view()
+    sel: Selection = []
+    pages_touched = set()
+    for row_id in row_ids:
+        if not valid[row_id]:
+            continue
+        page_no = heap.page_of(row_id)
+        if page_no not in pages_touched:
+            pages_touched.add(page_no)
+            ctx.touch_page(info.name, page_no)
+        sel.append(row_id)
+    ctx.charge_cpu(rows=len(sel))
+    return sel
+
+
+def _one_batch(info: TableInfo, sel: Selection) -> List[ColumnBatch]:
+    if not sel:
+        return []
+    return [ColumnBatch(info.heap.columns_view(), sel)]
 
 
 def _fetch_rows(
@@ -342,6 +409,170 @@ def _run_aggregate(
         for value in (
             evaluator.evaluate(expr.argument, row) for _row_id, row in rows
         )
+        if value is not None
+    ]
+    if expr.distinct:
+        observed = list(dict.fromkeys(observed))
+    if expr.func == "count":
+        return len(observed)
+    if not observed:
+        return None
+    if expr.func == "sum":
+        return sum(observed)
+    if expr.func == "min":
+        return min(observed)
+    if expr.func == "max":
+        return max(observed)
+    if expr.func == "avg":
+        return sum(observed) / len(observed)
+    raise PlanError(f"unknown aggregate: {expr.func!r}")
+
+
+# ----------------------------------------------------------------------
+# columnar relational operators — selection vectors in, selection
+# vectors (or per-column value lists) out; row tuples appear only at the
+# QueryResult boundary
+# ----------------------------------------------------------------------
+
+
+def columnar_order(
+    info: TableInfo,
+    columns: Tuple[List[Any], ...],
+    sel: Selection,
+    order_by: Sequence[OrderItem],
+) -> Selection:
+    """ORDER BY as a sort of the selection vector (no row tuples)."""
+    if not order_by:
+        return sel
+    schema = info.heap.schema
+    positions = [
+        (schema.position(item.column, info.name), item.descending)
+        for item in order_by
+    ]
+    ordered = list(sel)
+    # Stable multi-key sort: apply keys right-to-left.
+    for position, descending in reversed(positions):
+        column = columns[position]
+        ordered.sort(key=lambda rid: OrderKey(column[rid]), reverse=descending)
+    return ordered
+
+
+def columnar_limit(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    sel: Selection,
+    limit: Optional[Expr],
+) -> Selection:
+    if limit is None:
+        return sel
+    evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
+    count = evaluator.evaluate(limit, ())
+    if not isinstance(count, int) or count < 0:
+        raise PlanError(f"LIMIT must be a non-negative integer, got {count!r}")
+    return sel[:count]
+
+
+def columnar_project(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    evaluator: ColumnarEvaluator,
+    columns: Tuple[List[Any], ...],
+    sel: Selection,
+    items: Sequence[SelectItem],
+) -> Tuple[Tuple[str, ...], List[List[Any]]]:
+    """Projection as column slicing: returns output names plus one value
+    list per output column — still columnar; the caller materializes
+    tuples at the result boundary."""
+    schema = info.heap.schema
+    if len(items) == 1 and isinstance(items[0].expr, Star):
+        names = schema.names()
+        value_columns = [[column[rid] for rid in sel] for column in columns]
+        return names, value_columns
+    names = tuple(_item_name(item, position) for position, item in enumerate(items))
+    value_columns = [evaluator.values(item.expr, sel) for item in items]
+    ctx.charge_cpu(rows=len(sel))
+    return names, value_columns
+
+
+def columnar_aggregate(
+    ctx: ExecutionContext,
+    evaluator: ColumnarEvaluator,
+    sel: Selection,
+    items: Sequence[SelectItem],
+) -> Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]:
+    """All-aggregate select list over a selection vector."""
+    columns = tuple(_item_name(item, position) for position, item in enumerate(items))
+    values: List[Any] = []
+    for item in items:
+        expr = item.expr
+        if not isinstance(expr, Aggregate):
+            raise PlanError(
+                "mixing aggregates and plain columns requires GROUP BY, "
+                "which this subset does not support"
+            )
+        values.append(_run_columnar_aggregate(evaluator, expr, sel))
+    ctx.charge_cpu(rows=len(sel) * max(1, len(items)))
+    return columns, [tuple(values)]
+
+
+def columnar_aggregate_grouped(
+    ctx: ExecutionContext,
+    info: TableInfo,
+    evaluator: ColumnarEvaluator,
+    columns: Tuple[List[Any], ...],
+    sel: Selection,
+    items: Sequence[SelectItem],
+    group_by: Sequence[str],
+) -> Tuple[Tuple[str, ...], List[Tuple[Any, ...]]]:
+    """GROUP BY over a selection vector: keys are gathered straight from
+    the grouping columns; each group keeps its own selection vector."""
+    schema = info.heap.schema
+    key_columns = [
+        columns[schema.position(name, info.name)] for name in group_by
+    ]
+    for item in items:
+        expr = item.expr
+        if isinstance(expr, Aggregate):
+            continue
+        if isinstance(expr, ColumnRef) and expr.name in group_by:
+            continue
+        raise PlanError(
+            "non-aggregate select items must be GROUP BY columns "
+            f"(offending item: {getattr(expr, 'name', expr)!r})"
+        )
+    groups: "dict[tuple, Selection]" = {}
+    order: List[tuple] = []
+    for rid in sel:
+        key = tuple(column[rid] for column in key_columns)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(rid)
+    names = tuple(_item_name(item, position) for position, item in enumerate(items))
+    output: List[Tuple[Any, ...]] = []
+    for key in order:
+        member_sel = groups[key]
+        values: List[Any] = []
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, Aggregate):
+                values.append(_run_columnar_aggregate(evaluator, expr, member_sel))
+            else:
+                assert isinstance(expr, ColumnRef)
+                values.append(key[group_by.index(expr.name)])
+        output.append(tuple(values))
+    ctx.charge_cpu(rows=len(sel) * max(1, len(items)))
+    return names, output
+
+
+def _run_columnar_aggregate(
+    evaluator: ColumnarEvaluator, expr: Aggregate, sel: Selection
+) -> Any:
+    if isinstance(expr.argument, Star):
+        return len(sel)
+    observed = [
+        value
+        for value in evaluator.values(expr.argument, sel)
         if value is not None
     ]
     if expr.distinct:

@@ -41,7 +41,7 @@ from ..sql.ast_nodes import (
 )
 from ..types import Column, ColumnType, Schema
 from .context import ExecutionContext
-from .expr_eval import RowEvaluator
+from .expr_eval import ColumnarEvaluator, RowEvaluator
 from .operators import (
     ClusteredEqOp,
     HashEqOp,
@@ -52,6 +52,11 @@ from .operators import (
     apply_filter,
     apply_limit,
     apply_order,
+    columnar_aggregate,
+    columnar_aggregate_grouped,
+    columnar_limit,
+    columnar_order,
+    columnar_project,
     order_output_rows,
     project,
 )
@@ -183,6 +188,57 @@ def _check_params(expected: int, params: Sequence) -> None:
         raise ParamCountError(expected, len(params))
 
 
+def _columnar_candidates(ctx: ExecutionContext, info: TableInfo, access, where):
+    """Run an access path batch-at-a-time and filter each batch.
+
+    Returns ``(sel, columns, evaluator)``: the surviving selection
+    vector (in the access path's order), the table's column lists, and
+    the statement's columnar evaluator for downstream operators.  Each
+    batch is recorded on the context for the scan metrics.
+    """
+    heap = info.heap
+    columns = heap.columns_view()
+    evaluator = ColumnarEvaluator(heap.schema, info.name, ctx.params, columns)
+    sel: List[int] = []
+    for batch in access.run_columnar(ctx):
+        kept = evaluator.filter(where, batch.sel)
+        if where is not None:
+            ctx.charge_cpu(rows=len(batch.sel))
+        ctx.note_scan_batch(len(batch.sel), len(kept))
+        sel.extend(kept)
+    return sel, columns, evaluator
+
+
+def prefer_batch_scan(
+    info: TableInfo, access, distinct_bindings: int, profile
+) -> bool:
+    """Cost gate for a demuxed batch: is ONE shared scan cheaper than
+    one index probe per distinct binding?
+
+    Scan cost: every heap page sequentially plus per-row CPU.  Probe
+    cost: the index page plus the expected heap pages of one key's rows
+    (random IO) plus their CPU.  Estimates use cold-cache disk costs —
+    the gate needs the right order of magnitude, not exact latency.
+    Clustered probes touch one contiguous run, so they always win.
+    """
+    if isinstance(access, SeqScanOp):
+        return True
+    index = getattr(access, "_index", None)
+    if index is None:  # ClusteredEqOp: probes are near-free page runs
+        return False
+    heap = info.heap
+    rows = heap.row_count
+    pages = heap.page_count
+    scan_cost = pages * profile.disk_sequential_s + rows * profile.cpu_per_row_s
+    rows_per_key = rows / max(1, index.key_count)
+    probe_pages = 1 + min(rows_per_key, float(pages))
+    probe_cost = (
+        probe_pages * profile.disk_seek_min_s
+        + rows_per_key * profile.cpu_per_row_s
+    )
+    return distinct_bindings * probe_cost > scan_cost
+
+
 # ----------------------------------------------------------------------
 # plans
 # ----------------------------------------------------------------------
@@ -206,6 +262,11 @@ class SelectPlan:
         ctx.charge_cpu(fixed=True)
         info = self._info
         with info.heap.lock.reading():
+            if ctx.executor == "columnar":
+                sel, columns, evaluator = _columnar_candidates(
+                    ctx, info, self._access, self._stmt.where
+                )
+                return self._finalize_columnar(ctx, sel, columns, evaluator)
             rows = self._access.run(ctx)
             return self._finalize(ctx, rows)
 
@@ -233,6 +294,45 @@ class SelectPlan:
         rows = apply_limit(ctx, info, rows, stmt.limit)
         columns, output = project(ctx, info, rows, stmt.items, stmt.distinct)
         return QueryResult(columns=columns, rows=output)
+
+    def _finalize_columnar(
+        self,
+        ctx: ExecutionContext,
+        sel,
+        columns,
+        evaluator: Optional[ColumnarEvaluator] = None,
+        apply_where: bool = False,
+    ) -> QueryResult:
+        """The vectorized :meth:`_finalize`: operators narrow/reorder the
+        selection vector; tuples materialize only in
+        :meth:`QueryResult.from_columns`.  ``apply_where=True`` re-runs
+        the full WHERE over ``sel`` (the batch-demux operator hands
+        bucket candidates, not filtered rows)."""
+        stmt = self._stmt
+        info = self._info
+        if evaluator is None:
+            evaluator = ColumnarEvaluator(
+                info.heap.schema, info.name, ctx.params, columns
+            )
+        if apply_where and stmt.where is not None:
+            ctx.charge_cpu(rows=len(sel))
+            sel = evaluator.filter(stmt.where, sel)
+        if stmt.group_by:
+            names, output = columnar_aggregate_grouped(
+                ctx, info, evaluator, columns, sel, stmt.items, stmt.group_by
+            )
+            output = order_output_rows(names, output, stmt.order_by)
+            output = _limit_output(ctx, info, output, stmt.limit)
+            return QueryResult(columns=names, rows=output)
+        if stmt.is_aggregate:
+            names, output = columnar_aggregate(ctx, evaluator, sel, stmt.items)
+            return QueryResult(columns=names, rows=output)
+        sel = columnar_order(info, columns, sel, stmt.order_by)
+        sel = columnar_limit(ctx, info, sel, stmt.limit)
+        names, value_columns = columnar_project(
+            ctx, info, evaluator, columns, sel, stmt.items
+        )
+        return QueryResult.from_columns(names, value_columns, distinct=stmt.distinct)
 
 
 class InsertPlan:
@@ -300,8 +400,7 @@ class UpdatePlan:
         info = self._info
         evaluator = RowEvaluator(info.heap.schema, info.name, ctx.params)
         with info.heap.lock.writing():
-            rows = self._access.run(ctx)
-            rows = apply_filter(ctx, info, rows, self._stmt.where)
+            rows = self._candidate_rows(ctx)
             for row_id, row in rows:
                 new_row = list(row)
                 for position, expr in self._targets:
@@ -312,6 +411,20 @@ class UpdatePlan:
                 ctx.record_update(info.name, row_id, row, coerced)
             ctx.charge_cpu(rows=len(rows))
         return QueryResult(rowcount=len(rows))
+
+    def _candidate_rows(self, ctx: ExecutionContext):
+        """Matching ``(row_id, old_row)`` pairs, via the vectorized
+        filter when the columnar executor runs the statement.  The
+        mutation itself needs the old tuples (undo log and index
+        maintenance), so they materialize here either way."""
+        info = self._info
+        if ctx.executor == "columnar":
+            sel, _columns, _evaluator = _columnar_candidates(
+                ctx, info, self._access, self._stmt.where
+            )
+            return [(row_id, info.heap.fetch(row_id)) for row_id in sel]
+        rows = self._access.run(ctx)
+        return apply_filter(ctx, info, rows, self._stmt.where)
 
 
 class DeletePlan:
@@ -327,8 +440,14 @@ class DeletePlan:
         ctx.charge_cpu(fixed=True)
         info = self._info
         with info.heap.lock.writing():
-            rows = self._access.run(ctx)
-            rows = apply_filter(ctx, info, rows, self._stmt.where)
+            if ctx.executor == "columnar":
+                sel, _columns, _evaluator = _columnar_candidates(
+                    ctx, info, self._access, self._stmt.where
+                )
+                rows = [(row_id, info.heap.fetch(row_id)) for row_id in sel]
+            else:
+                rows = self._access.run(ctx)
+                rows = apply_filter(ctx, info, rows, self._stmt.where)
             for row_id, row in rows:
                 info.heap.delete(row_id)
                 self._catalog.on_delete(info.name, row_id, row)

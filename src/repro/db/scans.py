@@ -15,7 +15,37 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+#: Rows per column batch the vectorized executor works on.  Large enough
+#: that the per-batch Python overhead (one comprehension per predicate
+#: conjunct) amortizes, small enough that intermediate selection vectors
+#: stay cache-friendly.
+DEFAULT_BATCH_ROWS = 1024
+
+
+@dataclass
+class ColumnBatch:
+    """One unit of columnar execution: the table's column lists (shared,
+    zero-copy — indexed by schema position) plus a *selection vector* of
+    the live row ids this batch covers.  Operators narrow ``sel``; the
+    columns themselves are never copied until late materialization at
+    the result boundary."""
+
+    columns: Tuple[List[Any], ...]
+    sel: List[int]
+
+
+def iter_column_batches(heap, batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[ColumnBatch]:
+    """Yield :class:`ColumnBatch` stripes of ``batch_rows`` slots over a
+    :class:`~repro.db.storage.HeapTable`, skipping tombstones.  Callers
+    must hold the table's plan-level read lock for the duration."""
+    columns = heap.columns_view()
+    total = heap.slot_count
+    for start in range(0, total, batch_rows):
+        sel = heap.live_selection(start, start + batch_rows)
+        if sel:
+            yield ColumnBatch(columns, sel)
 
 
 @dataclass

@@ -10,6 +10,7 @@ threads beyond the server's effective parallelism stop helping.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -75,6 +76,13 @@ class DatabaseServer:
     #: literals) cannot grow server memory without bound.
     DEFAULT_MAX_PREPARED = 512
 
+    #: Engine kinds a statement may run under.
+    EXECUTORS = ("row", "columnar")
+
+    #: Selectivity histogram buckets (fraction of a batch's candidate
+    #: rows surviving the filter).
+    SELECTIVITY_BOUNDS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.75, 0.9, 1.0)
+
     def __init__(
         self,
         catalog: Catalog,
@@ -83,9 +91,33 @@ class DatabaseServer:
         profile: LatencyProfile,
         meter: LatencyMeter,
         max_prepared: int = DEFAULT_MAX_PREPARED,
+        metrics=None,
+        default_executor: Optional[str] = None,
     ) -> None:
         if max_prepared < 1:
             raise ValueError(f"max_prepared must be >= 1, got {max_prepared}")
+        if default_executor is None:
+            # The vectorized engine is the default; REPRO_EXECUTOR=row
+            # flips a whole process (the CI matrix runs both).
+            default_executor = (
+                os.environ.get("REPRO_EXECUTOR", "").strip() or "columnar"
+            )
+        if default_executor not in self.EXECUTORS:
+            raise ValueError(
+                f"unknown executor {default_executor!r} "
+                f"(expected one of {self.EXECUTORS})"
+            )
+        self.default_executor = default_executor
+        #: Scan instruments in the database-wide metrics registry (the
+        #: per-batch counters the columnar executor reports).  None when
+        #: the database attached no registry.
+        self._scan_batches = self._scan_rows = self._scan_selectivity = None
+        if metrics is not None:
+            self._scan_batches = metrics.counter("scan.batches")
+            self._scan_rows = metrics.counter("scan.rows_scanned")
+            self._scan_selectivity = metrics.histogram(
+                "scan.selectivity", bounds=self.SELECTIVITY_BOUNDS
+            )
         self._catalog = catalog
         self._buffer = buffer
         self._scans = scans
@@ -280,17 +312,32 @@ class DatabaseServer:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def resolve_executor(self, executor: Optional[str]) -> str:
+        """Validate an executor kind, defaulting to the server's."""
+        if executor is None:
+            return self.default_executor
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                f"(expected one of {self.EXECUTORS})"
+            )
+        return executor
+
     def submit(
         self,
         sql: str,
         params: Sequence = (),
         txn: Optional[Transaction] = None,
+        executor: Optional[str] = None,
     ) -> "Future[QueryResult]":
         """Queue a statement for execution; returns a Future."""
+        executor = self.resolve_executor(executor)
         with self._lock:
             if self._shutdown:
                 raise ServerShutdownError("server is shut down")
-        return self._pool.submit(self._run_sql, sql, tuple(params), txn)
+        return self._pool.submit(
+            self._run_sql, sql, tuple(params), txn, executor
+        )
 
     def submit_prepared(
         self,
@@ -298,14 +345,18 @@ class DatabaseServer:
         params: Sequence = (),
         txn: Optional[Transaction] = None,
         span=None,
+        executor: Optional[str] = None,
     ) -> "Future[QueryResult]":
         """Queue a prepared statement; ``span`` (the client's dispatch
-        span, when tracing) parents the worker's ``server.execute``."""
+        span, when tracing) parents the worker's ``server.execute``.
+        ``executor`` picks the engine ("row"/"columnar"; None = server
+        default)."""
+        executor = self.resolve_executor(executor)
         with self._lock:
             if self._shutdown:
                 raise ServerShutdownError("server is shut down")
         return self._pool.submit(
-            self._run_prepared, prepared, tuple(params), txn, span
+            self._run_prepared, prepared, tuple(params), txn, span, executor
         )
 
     def submit_prepared_batch(
@@ -314,6 +365,7 @@ class DatabaseServer:
         bindings: Sequence[Sequence],
         txn: Optional[Transaction] = None,
         span=None,
+        executor: Optional[str] = None,
     ) -> "Future[List[BindingOutcome]]":
         """Set-oriented execution: one statement over N binding sets.
 
@@ -333,12 +385,13 @@ class DatabaseServer:
         batch.  No network charge is made here; the client (or the
         dispatch coalescer) pays one round trip for the whole batch.
         """
+        executor = self.resolve_executor(executor)
         with self._lock:
             if self._shutdown:
                 raise ServerShutdownError("server is shut down")
         snapshot = [tuple(binding) for binding in bindings]
         return self._pool.submit(
-            self._run_prepared_batch, prepared, snapshot, txn, span
+            self._run_prepared_batch, prepared, snapshot, txn, span, executor
         )
 
     def execute(
@@ -346,9 +399,10 @@ class DatabaseServer:
         sql: str,
         params: Sequence = (),
         txn: Optional[Transaction] = None,
+        executor: Optional[str] = None,
     ) -> QueryResult:
         """Synchronous execution (still bounded by the worker pool)."""
-        return self.submit(sql, params, txn).result()
+        return self.submit(sql, params, txn, executor=executor).result()
 
     # ------------------------------------------------------------------
     # transactions
@@ -361,9 +415,13 @@ class DatabaseServer:
         return self.txns.begin()
 
     def _run_sql(
-        self, sql: str, params: tuple, txn: Optional[Transaction] = None
+        self,
+        sql: str,
+        params: tuple,
+        txn: Optional[Transaction] = None,
+        executor: Optional[str] = None,
     ) -> QueryResult:
-        return self._run_prepared(self.prepare(sql), params, txn)
+        return self._run_prepared(self.prepare(sql), params, txn, executor=executor)
 
     def _run_prepared(
         self,
@@ -371,6 +429,7 @@ class DatabaseServer:
         params: tuple,
         txn: Optional[Transaction] = None,
         span=None,
+        executor: Optional[str] = None,
     ) -> QueryResult:
         exec_span = (
             span.child(
@@ -380,7 +439,9 @@ class DatabaseServer:
             else None
         )
         try:
-            return self._execute_prepared(prepared, params, txn, exec_span)
+            return self._execute_prepared(
+                prepared, params, txn, exec_span, executor
+            )
         except BaseException as exc:
             if exec_span is not None:
                 exec_span.set("error", repr(exc))
@@ -395,7 +456,9 @@ class DatabaseServer:
         params: tuple,
         txn: Optional[Transaction],
         exec_span=None,
+        executor: Optional[str] = None,
     ) -> QueryResult:
+        executor = self.resolve_executor(executor)
         with self._lock:
             stale = prepared.catalog_version != self._catalog_version
         if stale:
@@ -428,11 +491,16 @@ class DatabaseServer:
                 meter=self._meter,
                 params=params,
                 txn=txn,
+                executor=executor,
             )
             result = prepared.plan.execute(ctx)
             ctx.flush_cpu()
+            self._note_scan_metrics(ctx)
             if exec_span is not None:
                 exec_span.set("write", write)
+                exec_span.set("executor", executor)
+                if ctx.scan_batches:
+                    exec_span.set("scan_batches", ctx.scan_batches)
                 rows = getattr(result, "rowcount", None)
                 if rows is not None:
                     exec_span.set("rows", rows)
@@ -461,9 +529,11 @@ class DatabaseServer:
         bindings: List[tuple],
         txn: Optional[Transaction] = None,
         span=None,
+        executor: Optional[str] = None,
     ) -> List[BindingOutcome]:
         if not bindings:
             return []
+        executor = self.resolve_executor(executor)
         with self._lock:
             stale = prepared.catalog_version != self._catalog_version
         if stale:
@@ -478,7 +548,7 @@ class DatabaseServer:
             for binding in bindings:
                 try:
                     outcomes.append(
-                        self._run_prepared(prepared, binding, txn, span)
+                        self._run_prepared(prepared, binding, txn, span, executor)
                     )
                 except Exception as exc:
                     outcomes.append(exc)
@@ -508,9 +578,15 @@ class DatabaseServer:
                 meter=self._meter,
                 params=(),
                 txn=txn,
+                executor=executor,
             )
-            outcomes = execute_batch_select(prepared.plan, ctx, bindings)
+            outcomes = execute_batch_select(
+                prepared.plan, ctx, bindings, span=exec_span
+            )
             ctx.flush_cpu()
+            self._note_scan_metrics(ctx)
+            if exec_span is not None and ctx.scan_batches:
+                exec_span.set("scan_batches", ctx.scan_batches)
             with self._lock:
                 self.stats.statements_executed += 1
                 self.stats.batched_calls += 1
@@ -526,6 +602,17 @@ class DatabaseServer:
                 exec_span.end()
             with self._lock:
                 self._active -= 1
+
+    def _note_scan_metrics(self, ctx: ExecutionContext) -> None:
+        """Fold one statement's per-batch scan accounting into the
+        database-wide metrics registry (no-op without one, or when the
+        statement ran row-at-a-time and produced no batches)."""
+        if self._scan_batches is None or not ctx.scan_batches:
+            return
+        self._scan_batches.inc(ctx.scan_batches)
+        self._scan_rows.inc(ctx.scan_rows)
+        for selectivity in ctx.scan_selectivities:
+            self._scan_selectivity.observe(selectivity)
 
     def _lock_for_txn(self, txn: Transaction, ast: Statement) -> None:
         """Acquire the statement's table lock under strict 2PL."""

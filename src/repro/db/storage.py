@@ -1,16 +1,26 @@
-"""Heap file storage: rows packed into fixed-capacity pages.
+"""Heap file storage: columnar slots packed into fixed-capacity pages.
 
-A :class:`HeapTable` stores row tuples in insertion (or clustered-key)
-order.  Pages exist only as an accounting unit — ``page_of(row_id)``
-tells the access layer which buffer-pool page an access touches, which
-is what drives the simulated IO costs.
+A :class:`HeapTable` stores table data column-at-a-time: one Python list
+per schema column (all the same length) plus a validity bytearray whose
+byte ``i`` says whether slot ``i`` holds a live row.  Row ids are slot
+indexes, in insertion (or clustered-key) order.  Pages exist only as an
+accounting unit — ``page_of(row_id)`` tells the access layer which
+buffer-pool page an access touches, which is what drives the simulated
+IO costs.
+
+The row-oriented API (:meth:`~HeapTable.fetch`,
+:meth:`~HeapTable.iter_rows`, …) is preserved on top of the columnar
+layout so the row-at-a-time executor keeps working unchanged; the
+columnar executor reads the column lists directly via
+:meth:`~HeapTable.columns_view` / :meth:`~HeapTable.live_selection` and
+materializes tuples only at the result boundary.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from .concurrency import ReadWriteLock
 from .errors import ConstraintError
@@ -22,14 +32,15 @@ DEFAULT_ROWS_PER_PAGE = 64
 
 
 class HeapTable:
-    """Row storage for one table.
+    """Columnar storage for one table.
 
     When ``clustered_on`` is set, rows are kept physically sorted on that
     column, so equality lookups on it touch one page run (the paper's
     Experiment 3 uses a clustering index on ``category.category_id``).
 
-    Deleted rows leave tombstones (``None``) so that row ids — which the
-    indexes reference — stay stable; ``compact()`` rebuilds.
+    Deleted rows leave tombstones (validity byte cleared) so that row
+    ids — which the indexes reference — stay stable; ``compact()``
+    rebuilds.
     """
 
     def __init__(
@@ -48,8 +59,11 @@ class HeapTable:
         self._cluster_pos = (
             schema.position(clustered_on, name) if clustered_on else None
         )
-        self._rows: List[Optional[Row]] = []
-        self._cluster_keys: List[Any] = []  # parallel to _rows when clustered
+        #: One value list per schema column; all kept the same length.
+        self._columns: List[List[Any]] = [[] for _ in schema.columns]
+        #: Per-slot liveness: 1 = live row, 0 = tombstone.
+        self._valid = bytearray()
+        self._cluster_keys: List[Any] = []  # parallel to slots when clustered
         self._live_count = 0
         self.lock = ReadWriteLock()
         self._mutate = threading.Lock()
@@ -66,14 +80,19 @@ class HeapTable:
 
     @property
     def page_count(self) -> int:
-        if not self._rows:
+        if not self._valid:
             return 0
-        return (len(self._rows) - 1) // self.rows_per_page + 1
+        return (len(self._valid) - 1) // self.rows_per_page + 1
 
     @property
     def row_count(self) -> int:
         """Number of live (non-deleted) rows."""
         return self._live_count
+
+    @property
+    def slot_count(self) -> int:
+        """Number of physical slots, tombstones included."""
+        return len(self._valid)
 
     def __len__(self) -> int:
         return self._live_count
@@ -91,21 +110,27 @@ class HeapTable:
         row = self.schema.coerce_row(values)
         with self._mutate:
             if self._cluster_pos is None:
-                self._rows.append(row)
+                for column, value in zip(self._columns, row):
+                    column.append(value)
+                self._valid.append(1)
                 self._live_count += 1
-                return len(self._rows) - 1
+                return len(self._valid) - 1
             key = row[self._cluster_pos]
             position = bisect.bisect_right(self._cluster_keys, _OrderKey(key))
-            self._rows.insert(position, row)
+            for column, value in zip(self._columns, row):
+                column.insert(position, value)
+            self._valid.insert(position, 1)
             self._cluster_keys.insert(position, _OrderKey(key))
             self._live_count += 1
             return position
 
     def delete(self, row_id: int) -> None:
         with self._mutate:
-            if self._rows[row_id] is None:
+            if not self._valid[row_id]:
                 raise ConstraintError(f"row {row_id} already deleted")
-            self._rows[row_id] = None
+            self._valid[row_id] = 0
+            # Column values stay in place under the tombstone; restore()
+            # overwrites them and compact() drops the slot.
             if self._cluster_pos is not None:
                 self._cluster_keys[row_id] = _OrderKey(None)
             self._live_count -= 1
@@ -117,15 +142,16 @@ class HeapTable:
         delete + reinsert (the planner does exactly that).
         """
         with self._mutate:
-            old = self._rows[row_id]
-            if old is None:
+            if not self._valid[row_id]:
                 raise ConstraintError(f"row {row_id} is deleted")
             if self._cluster_pos is not None:
-                if row[self._cluster_pos] != old[self._cluster_pos]:
+                if row[self._cluster_pos] != self._columns[self._cluster_pos][row_id]:
                     raise ConstraintError(
                         "cannot update clustering key in place"
                     )
-            self._rows[row_id] = self.schema.coerce_row(row)
+            coerced = self.schema.coerce_row(row)
+            for column, value in zip(self._columns, coerced):
+                column[row_id] = value
 
     def restore(self, row_id: int, row: Row) -> None:
         """Resurrect a tombstoned row in place (transaction rollback).
@@ -136,10 +162,12 @@ class HeapTable:
         compacted away in between.
         """
         with self._mutate:
-            if self._rows[row_id] is not None:
+            if self._valid[row_id]:
                 raise ConstraintError(f"row {row_id} is not deleted")
             coerced = self.schema.coerce_row(row)
-            self._rows[row_id] = coerced
+            for column, value in zip(self._columns, coerced):
+                column[row_id] = value
+            self._valid[row_id] = 1
             if self._cluster_pos is not None:
                 self._cluster_keys[row_id] = _OrderKey(coerced[self._cluster_pos])
             self._live_count += 1
@@ -147,38 +175,51 @@ class HeapTable:
     def compact(self) -> None:
         """Drop tombstones; invalidates row ids (indexes must rebuild)."""
         with self._mutate:
-            self._rows = [row for row in self._rows if row is not None]
+            keep = [row_id for row_id, live in enumerate(self._valid) if live]
+            self._columns = [
+                [column[row_id] for row_id in keep] for column in self._columns
+            ]
+            self._valid = bytearray(b"\x01" * len(keep))
             if self._cluster_pos is not None:
-                self._cluster_keys = [
-                    _OrderKey(row[self._cluster_pos]) for row in self._rows
-                ]
-            self._live_count = len(self._rows)
+                cluster = self._columns[self._cluster_pos]
+                self._cluster_keys = [_OrderKey(value) for value in cluster]
+            self._live_count = len(keep)
 
     # ------------------------------------------------------------------
-    # access
+    # row-oriented access (the row executor and the write paths)
     # ------------------------------------------------------------------
     def fetch(self, row_id: int) -> Optional[Row]:
-        return self._rows[row_id]
+        if not self._valid[row_id]:
+            return None
+        return tuple(column[row_id] for column in self._columns)
 
     def iter_rows(self) -> Iterator[Tuple[int, Row]]:
         """Yield ``(row_id, row)`` for live rows, in physical order."""
-        for row_id, row in enumerate(self._rows):
-            if row is not None:
+        valid = self._valid
+        if not self._columns:
+            for row_id in range(len(valid)):
+                if valid[row_id]:
+                    yield row_id, ()
+            return
+        for row_id, row in enumerate(zip(*self._columns)):
+            if valid[row_id]:
                 yield row_id, row
 
     def iter_pages(self) -> Iterator[Tuple[int, List[Tuple[int, Row]]]]:
         """Yield ``(page_no, [(row_id, row), ...])`` per page."""
         page: List[Tuple[int, Row]] = []
         current_page = 0
-        for row_id, row in enumerate(self._rows):
+        for row_id in range(len(self._valid)):
             page_no = self.page_of(row_id)
             if page_no != current_page:
                 yield current_page, page
                 page = []
                 current_page = page_no
-            if row is not None:
-                page.append((row_id, row))
-        if page or self._rows:
+            if self._valid[row_id]:
+                page.append(
+                    (row_id, tuple(column[row_id] for column in self._columns))
+                )
+        if page or self._valid:
             yield current_page, page
 
     def cluster_range(self, key: Any) -> Tuple[int, int]:
@@ -189,6 +230,30 @@ class HeapTable:
         lo = bisect.bisect_left(self._cluster_keys, marker)
         hi = bisect.bisect_right(self._cluster_keys, marker)
         return lo, hi
+
+    # ------------------------------------------------------------------
+    # columnar access (the batch executor)
+    # ------------------------------------------------------------------
+    def columns_view(self) -> Tuple[List[Any], ...]:
+        """The live column lists themselves — zero-copy, indexed by the
+        schema column position.  Callers must hold the table's plan-level
+        read lock; values under tombstoned slots are stale and must be
+        skipped via :meth:`live_selection` / :meth:`validity_view`."""
+        return tuple(self._columns)
+
+    def validity_view(self) -> bytearray:
+        """The liveness bitmap (byte per slot, 1 = live)."""
+        return self._valid
+
+    def live_selection(self, start: int, stop: int) -> List[int]:
+        """Selection vector of live row ids in ``[start, stop)``."""
+        valid = self._valid
+        stop = min(stop, len(valid))
+        if start >= stop:
+            return []
+        if not valid.count(0, start, stop):
+            return list(range(start, stop))
+        return [row_id for row_id in range(start, stop) if valid[row_id]]
 
 
 class _OrderKey:

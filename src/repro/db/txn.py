@@ -362,8 +362,16 @@ class TransactionManager:
         txn._wait_drained()
         # The txn still holds exclusive locks on every table it wrote,
         # so reverse replay cannot interleave with other transactions.
+        # Consecutive entries against the same table replay under one
+        # physical latch acquisition (global reverse order preserved).
+        run: List[UndoEntry] = []
         for entry in reversed(txn._undo):
-            self._undo_one(entry)
+            if run and run[-1].table != entry.table:
+                self._undo_run(run)
+                run = []
+            run.append(entry)
+        if run:
+            self._undo_run(run)
         txn._undo.clear()
         with txn._state_lock:
             txn._state = ABORTED
@@ -400,18 +408,26 @@ class TransactionManager:
     # undo application
     # ------------------------------------------------------------------
     def _undo_one(self, entry: UndoEntry) -> None:
-        info = self._catalog.table(entry.table)
+        self._undo_run([entry])
+
+    def _undo_run(self, entries: List[UndoEntry]) -> None:
+        """Replay a run of undo entries against one table under a single
+        write-latch acquisition (entries are already in replay order)."""
+        info = self._catalog.table(entries[0].table)
         with info.heap.lock.writing():
-            if entry.kind == "insert":
-                info.heap.delete(entry.row_id)
-                self._catalog.on_delete(entry.table, entry.row_id, entry.row)
-            elif entry.kind == "update":
-                info.heap.update(entry.row_id, entry.row)
-                self._catalog.on_update(
-                    entry.table, entry.row_id, entry.new_row, entry.row
-                )
-            elif entry.kind == "delete":
-                info.heap.restore(entry.row_id, entry.row)
-                self._catalog.on_insert(entry.table, entry.row_id, entry.row)
-            else:  # pragma: no cover - UndoEntry kinds are closed
-                raise TransactionStateError(f"unknown undo kind {entry.kind!r}")
+            for entry in entries:
+                if entry.kind == "insert":
+                    info.heap.delete(entry.row_id)
+                    self._catalog.on_delete(entry.table, entry.row_id, entry.row)
+                elif entry.kind == "update":
+                    info.heap.update(entry.row_id, entry.row)
+                    self._catalog.on_update(
+                        entry.table, entry.row_id, entry.new_row, entry.row
+                    )
+                elif entry.kind == "delete":
+                    info.heap.restore(entry.row_id, entry.row)
+                    self._catalog.on_insert(entry.table, entry.row_id, entry.row)
+                else:  # pragma: no cover - UndoEntry kinds are closed
+                    raise TransactionStateError(
+                        f"unknown undo kind {entry.kind!r}"
+                    )

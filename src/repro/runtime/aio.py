@@ -374,6 +374,7 @@ def aio_connect(
     coalesce_window: Optional[int] = None,
     trace: bool = False,
     metrics=None,
+    executor: Optional[str] = None,
 ) -> AioConnection:
     """Open an :class:`AioConnection` on a :class:`repro.db.Database`.
 
@@ -387,7 +388,8 @@ def aio_connect(
     (one coalescer, shared by both front ends).  ``trace`` / ``metrics``
     attach observability exactly as ``Database.connect`` does; the aio
     front end records completion latencies from done callbacks (no
-    blocking fetch ever runs).
+    blocking fetch ever runs).  ``executor`` picks the execution engine
+    (``"columnar"``/``"row"``), again mirroring ``Database.connect``.
     """
     return AioConnection(
         database.connect(
@@ -397,6 +399,7 @@ def aio_connect(
             coalesce_window=coalesce_window,
             trace=trace,
             metrics=metrics,
+            executor=executor,
         )
     )
 

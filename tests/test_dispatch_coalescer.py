@@ -58,6 +58,44 @@ class TestCoalescing:
         plain.close()
         merged.close()
 
+    def test_row_and_columnar_coalesced_batches_agree(self, grouped):
+        # Differential oracle on the batch path: the same pile of
+        # submits, coalesced and demuxed under each execution engine,
+        # must produce identical per-binding results.
+        bindings = [0, 3, 1, 3, 2, 0, 0]
+        results = {}
+        for executor in ("row", "columnar"):
+            conn = grouped.connect(
+                async_workers=1, coalesce=True, executor=executor
+            )
+            gate = hold_worker(conn)
+            handles = [conn.submit_query(ROW_SQL, [g]) for g in bindings]
+            gate.set()
+            results[executor] = [
+                (h_result.columns, list(h_result))
+                for h_result in map(conn.fetch_result, handles)
+            ]
+            assert conn.stats.coalesced_batches == 1
+            conn.close()
+        assert results["row"] == results["columnar"]
+
+    def test_dispatch_span_records_strategy_and_executor(self, grouped):
+        # The cost-gated demux decision (shared scan vs per-binding
+        # probe) and the engine kind land on the batched dispatch span.
+        conn = grouped.connect(
+            async_workers=1, coalesce=True, trace=True, executor="columnar"
+        )
+        gate = hold_worker(conn)
+        handles = [conn.submit_query(SQL, [g % 4]) for g in range(6)]
+        gate.set()
+        for handle in handles:
+            conn.fetch_result(handle)
+        conn.close()
+        spans = {s["name"]: s for s in grouped.tracer.export()}
+        execute = spans["server.execute"]
+        assert execute["attrs"]["strategy"] in ("scan", "probe")
+        assert execute["attrs"]["executor"] == "columnar"
+
     def test_window_caps_batch_size(self, grouped):
         conn = grouped.connect(async_workers=1, coalesce=True, coalesce_window=3)
         gate = hold_worker(conn)

@@ -1,0 +1,324 @@
+"""Differential oracle: the columnar executor against the row engine.
+
+The vectorized columnar executor (batch-at-a-time scans, selection
+vectors, late materialization) must be *client-indistinguishable* from
+the tuple-at-a-time row engine it replaced as the default.  These tests
+enforce that by construction: every property runs the same statement on
+both engines — over the same database — and asserts byte-identical
+results (columns, rows, and row *order*; both engines scan in row-id
+order and group/dedupe in first-occurrence order, so exact equality is
+the contract, not just set equality).
+
+The row engine survives precisely to serve as this oracle
+(``Database.connect(executor="row")``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database, INSTANT
+from repro.db.server import DatabaseServer
+
+values = st.one_of(st.integers(min_value=-9, max_value=9), st.none())
+texts = st.one_of(st.sampled_from(["red", "green", "blue", ""]), st.none())
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 400), values, values, texts),
+    min_size=0,
+    max_size=50,
+)
+
+#: (sql, number of parameters) — one pool shared by every layout.
+#: Covers the vectorized fast paths (=, <, >=, <>, IN, BETWEEN, AND)
+#: and the generic cursor fallback (OR, NOT, IS NULL, expressions),
+#: plus DISTINCT, multi-key ORDER BY + LIMIT, aggregates and GROUP BY.
+QUERIES = [
+    ("SELECT id, a, b FROM t WHERE a = ?", 1),
+    ("SELECT id FROM t WHERE a < ? AND b >= ?", 2),
+    ("SELECT id FROM t WHERE a <> ?", 1),
+    ("SELECT id FROM t WHERE a IN (?, ?, 3)", 2),
+    ("SELECT id FROM t WHERE b NOT IN (?, 1)", 1),
+    ("SELECT id FROM t WHERE b BETWEEN ? AND ?", 2),
+    ("SELECT id FROM t WHERE a IS NULL", 0),
+    ("SELECT id FROM t WHERE a IS NOT NULL AND b = ?", 1),
+    ("SELECT id FROM t WHERE a = ? OR b = ?", 2),
+    ("SELECT id FROM t WHERE NOT (a = ?)", 1),
+    ("SELECT id, a + b FROM t WHERE b <> ?", 1),
+    ("SELECT DISTINCT a FROM t", 0),
+    ("SELECT DISTINCT a, c FROM t WHERE b >= ?", 1),
+    ("SELECT id, c FROM t WHERE c = ?", 1),
+    ("SELECT * FROM t WHERE b > ?", 1),
+    ("SELECT id FROM t ORDER BY a, b LIMIT 5", 0),
+    ("SELECT a, b FROM t WHERE a >= ? ORDER BY b", 1),
+    ("SELECT count(*), sum(b), min(b), max(b), avg(b) FROM t WHERE a >= ?", 1),
+    ("SELECT count(a) FROM t", 0),
+    ("SELECT a, count(*), sum(b) FROM t GROUP BY a", 0),
+    ("SELECT a, c, count(*) FROM t WHERE b <> ? GROUP BY a, c", 1),
+]
+
+params_strategy = st.lists(
+    st.integers(min_value=-9, max_value=9), min_size=2, max_size=2
+)
+
+
+def fresh_db(rows, clustered=False, indexed=False):
+    db = Database(INSTANT)
+    db.create_table(
+        "t",
+        ("id", "int"),
+        ("a", "int"),
+        ("b", "int"),
+        ("c", "text"),
+        rows_per_page=8,
+        clustered_on="a" if clustered else None,
+    )
+    db.bulk_load("t", rows)
+    if indexed:
+        db.create_index("ix", "t", "a")
+        db.create_index("ox", "t", "b", ordered=True)
+    return db
+
+
+def both_engines(db):
+    return (
+        db.connect(async_workers=1, executor="row"),
+        db.connect(async_workers=1, executor="columnar"),
+    )
+
+
+def assert_engines_agree(db, sql, params):
+    row_conn, col_conn = both_engines(db)
+    try:
+        row_res = col_res = None
+        row_exc = col_exc = None
+        try:
+            row_res = row_conn.execute_query(sql, params)
+        except Exception as exc:  # both engines must fail alike
+            row_exc = exc
+        try:
+            col_res = col_conn.execute_query(sql, params)
+        except Exception as exc:
+            col_exc = exc
+        if row_exc is not None or col_exc is not None:
+            assert type(row_exc) is type(col_exc), (
+                f"{sql!r} {params}: row raised {row_exc!r}, "
+                f"columnar raised {col_exc!r}"
+            )
+            return
+        assert row_res.columns == col_res.columns, sql
+        assert row_res.rows == col_res.rows, (
+            f"{sql!r} {params}: row={row_res.rows} columnar={col_res.rows}"
+        )
+    finally:
+        row_conn.close()
+        col_conn.close()
+
+
+class TestSelectDifferential:
+    @given(rows=rows_strategy, params=params_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_heap_table(self, rows, params):
+        db = fresh_db(rows)
+        try:
+            for sql, nparams in QUERIES:
+                assert_engines_agree(db, sql, params[:nparams])
+        finally:
+            db.close()
+
+    @given(rows=rows_strategy, params=params_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_indexed_table(self, rows, params):
+        db = fresh_db(rows, indexed=True)
+        try:
+            for sql, nparams in QUERIES:
+                assert_engines_agree(db, sql, params[:nparams])
+        finally:
+            db.close()
+
+    @given(rows=rows_strategy, params=params_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_clustered_table(self, rows, params):
+        # Clustering on a nullable column exercises ClusteredEqOp's
+        # columnar range fetch (and OrderKey handling of NULL keys).
+        db = fresh_db(rows, clustered=True)
+        try:
+            for sql, nparams in QUERIES:
+                assert_engines_agree(db, sql, params[:nparams])
+        finally:
+            db.close()
+
+    @given(rows=rows_strategy, pivot=st.integers(-9, 9))
+    @settings(max_examples=15, deadline=None)
+    def test_after_deletes(self, rows, pivot):
+        # Tombstones: delete a slice, then scan — live_selection must
+        # skip cleared validity bits identically on both engines.
+        db = fresh_db(rows)
+        try:
+            db.server.execute("DELETE FROM t WHERE a = ?", (pivot,))
+            for sql, nparams in QUERIES:
+                assert_engines_agree(db, sql, [pivot, pivot][:nparams])
+        finally:
+            db.close()
+
+
+DML = [
+    ("UPDATE t SET b = ? WHERE a = ?", 2),
+    ("UPDATE t SET a = ? WHERE b < ?", 2),
+    ("DELETE FROM t WHERE b = ?", 1),
+    ("INSERT INTO t (id, a, b, c) VALUES (?, ?, 7, 'new')", 2),
+]
+
+TABLE_SNAPSHOT = "SELECT id, a, b, c FROM t"
+
+
+def run_writes(conn, params):
+    outcomes = []
+    for sql, nparams in DML:
+        try:
+            outcomes.append(conn.execute_update(sql, params[:nparams]).rowcount)
+        except Exception as exc:
+            outcomes.append(type(exc).__name__)
+    return outcomes
+
+
+class TestWriteDifferential:
+    @given(rows=rows_strategy, params=params_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_dml_converges(self, rows, params):
+        # Same writes through each engine against identical databases
+        # must leave identical table states (UPDATE/DELETE candidate
+        # selection runs through the engine under test).
+        db_row, db_col = fresh_db(rows), fresh_db(rows)
+        try:
+            with db_row.connect(executor="row") as conn:
+                row_outcomes = run_writes(conn, params)
+                row_state = conn.execute_query(TABLE_SNAPSHOT).rows
+            with db_col.connect(executor="columnar") as conn:
+                col_outcomes = run_writes(conn, params)
+                col_state = conn.execute_query(TABLE_SNAPSHOT).rows
+            assert row_outcomes == col_outcomes
+            assert row_state == col_state
+        finally:
+            db_row.close()
+            db_col.close()
+
+    @given(rows=rows_strategy, params=params_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_rollback_restores_identically(self, rows, params):
+        db_row, db_col = fresh_db(rows), fresh_db(rows)
+        try:
+            states = []
+            for db, executor in ((db_row, "row"), (db_col, "columnar")):
+                with db.connect(executor=executor) as conn:
+                    before = conn.execute_query(TABLE_SNAPSHOT).rows
+                    conn.begin()
+                    run_writes(conn, params)
+                    conn.rollback()
+                    after = conn.execute_query(TABLE_SNAPSHOT).rows
+                    assert after == before, f"{executor} rollback diverged"
+                    states.append(after)
+            assert states[0] == states[1]
+        finally:
+            db_row.close()
+            db_col.close()
+
+
+class TestBatchDifferential:
+    @given(rows=rows_strategy, keys=st.lists(values, min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_demux_batch_agrees(self, rows, keys):
+        # The set-oriented batch path (scan-and-bucket demux) under each
+        # engine, including duplicate and NULL bindings.
+        db = fresh_db(rows)
+        try:
+            prepared = db.server.prepare("SELECT id, b FROM t WHERE a = ?")
+            bindings = [(key,) for key in keys]
+            out = {}
+            for executor in ("row", "columnar"):
+                outcomes = db.server.submit_prepared_batch(
+                    prepared, bindings, executor=executor
+                ).result()
+                out[executor] = [
+                    o.rows if not isinstance(o, Exception) else type(o).__name__
+                    for o in outcomes
+                ]
+            assert out["row"] == out["columnar"]
+        finally:
+            db.close()
+
+
+class TestExecutorSelection:
+    def test_columnar_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        with Database(INSTANT) as db:
+            assert db.server.default_executor == "columnar"
+            with db.connect() as conn:
+                assert conn.executor_kind == "columnar"
+
+    def test_row_selectable_per_connection(self):
+        with Database(INSTANT) as db:
+            with db.connect(executor="row") as conn:
+                assert conn.executor_kind == "row"
+                assert conn.pipeline.executor_kind == "row"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "row")
+        with Database(INSTANT) as db:
+            assert db.server.default_executor == "row"
+            with db.connect() as conn:
+                assert conn.executor_kind == "row"
+            # Explicit beats the environment.
+            with db.connect(executor="columnar") as conn:
+                assert conn.executor_kind == "columnar"
+
+    def test_invalid_executor_rejected(self):
+        with Database(INSTANT) as db:
+            with pytest.raises(ValueError):
+                db.connect(executor="vectorised")
+            with pytest.raises(ValueError):
+                db.server.resolve_executor("turbo")
+
+    def test_invalid_env_default_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "quantum")
+        with pytest.raises(ValueError):
+            Database(INSTANT)
+
+
+class TestScanObservability:
+    def _scan_db(self):
+        db = Database(INSTANT)
+        db.create_table("t", ("id", "int"), ("a", "int"))
+        db.bulk_load("t", [(i, i % 5) for i in range(40)])
+        return db
+
+    def test_scan_metrics_recorded(self):
+        with self._scan_db() as db:
+            db.server.execute(
+                "SELECT id FROM t WHERE a = ?", (2,), executor="columnar"
+            )
+            counters = db.metrics.snapshot()["counters"]
+            assert counters["scan.batches"] >= 1
+            assert counters["scan.rows_scanned"] == 40
+            hist = db.metrics.histograms()["scan.selectivity"]
+            assert hist.count >= 1
+
+    def test_row_engine_records_no_scan_batches(self):
+        with self._scan_db() as db:
+            db.server.execute("SELECT id FROM t WHERE a = ?", (2,), executor="row")
+            counters = db.metrics.snapshot()["counters"]
+            assert counters.get("scan.batches", 0) == 0
+
+    def test_execute_span_carries_executor(self):
+        with self._scan_db() as db:
+            with db.connect(trace=True, executor="columnar") as conn:
+                conn.execute_query("SELECT id FROM t WHERE a = ?", (1,))
+            spans = [
+                span
+                for span in db.tracer.export()
+                if span["name"] == "server.execute"
+            ]
+            assert spans, "no server.execute span recorded"
+            attrs = spans[-1]["attrs"]
+            assert attrs["executor"] == "columnar"
+            assert attrs["scan_batches"] >= 1

@@ -11,6 +11,11 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — multiplies every simulated latency (default 1.0).
 * ``REPRO_BENCH_FULL``  — set to 1 to extend the iteration grids to the
   paper's full ranges (minutes instead of seconds).
+
+The open/closed-loop load driver (:mod:`repro.bench.driver`, CLI face
+``repro workload run``) measures tail latency under sustained
+concurrency — per-op p50/p90/p95/p99 histograms, ``BENCH_workload.json``
+emission, and percentile SLO gating.
 """
 
 from .harness import FigureData, FigureSeries, Measurement, bench_scale, full_mode

@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -80,29 +81,52 @@ class FigureData:
     #: (populated by :meth:`absorb_latencies`; empty when the runner
     #: collected no metrics).
     op_latencies: Dict[str, Histogram] = field(default_factory=dict)
+    #: Extra per-series JSON fields (e.g. the load driver's
+    #: ``throughput`` block), merged into the series entry by
+    #: :meth:`bench_json`.
+    series_meta: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def new_series(self, name: str) -> FigureSeries:
         created = FigureSeries(name)
         self.series.append(created)
         return created
 
-    def op_histogram(self, label: str) -> Histogram:
+    def op_histogram(
+        self, label: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
         """Get-or-create the accumulated latency histogram for one
-        series label."""
+        series label; ``bounds`` applies only on creation."""
         hist = self.op_latencies.get(label)
         if hist is None:
-            hist = self.op_latencies[label] = Histogram(label)
+            hist = self.op_latencies[label] = Histogram(label, bounds)
         return hist
 
     def absorb_latencies(self, label: str, registry: MetricsRegistry) -> None:
         """Fold every histogram of a per-variant ``registry`` into this
         figure's accumulated histogram for ``label`` (runners reset the
         registry between warm-up and measured runs, so only measured
-        observations land here)."""
-        target = self.op_histogram(label)
+        observations land here).
+
+        A figure-side histogram is created with the *source's* bucket
+        bounds, so custom-bounds instruments (``scan.selectivity``)
+        absorb cleanly; a source whose bounds disagree with an already
+        accumulated histogram is skipped with a warning instead of
+        crashing the bench mid-run.
+        """
         for hist in registry.histograms().values():
-            if hist.count:
-                target.merge(hist)
+            if not hist.count:
+                continue
+            target = self.op_histogram(label, bounds=hist.bounds)
+            if target.bounds != hist.bounds:
+                warnings.warn(
+                    f"figure {self.figure_id!r}: skipping histogram "
+                    f"{hist.name!r} for series {label!r} — bucket bounds "
+                    f"differ from the accumulated histogram's",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            target.merge(hist)
 
     def xs(self) -> List[float]:
         seen: List[float] = []
@@ -175,14 +199,15 @@ class FigureData:
             hist = self.op_latencies.get(series.name)
             if hist is not None and hist.count:
                 entry["latency"] = hist.snapshot()
+            entry.update(self.series_meta.get(series.name, {}))
             series_out.append(entry)
         # Histograms without a matching wall-clock series still emit.
         named = {series.name for series in self.series}
         for label, hist in self.op_latencies.items():
             if label not in named and hist.count:
-                series_out.append(
-                    {"name": label, "points": [], "latency": hist.snapshot()}
-                )
+                entry = {"name": label, "points": [], "latency": hist.snapshot()}
+                entry.update(self.series_meta.get(label, {}))
+                series_out.append(entry)
         return {
             "figure_id": self.figure_id,
             "title": self.title,

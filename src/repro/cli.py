@@ -4,13 +4,17 @@ Rewrites a Python source file for asynchronous query submission and
 prints (or writes) the result, plus the per-loop transformation report
 — the command-line equivalent of the paper's source-to-source tool.
 
-Two observability subcommands ride alongside the transformer:
+Three subcommands ride alongside the transformer:
 
 * ``repro stats [--json]`` — run a small demonstration workload through
   the full pipeline (cache + set-oriented dispatch + metrics) and print
   the unified :class:`~repro.obs.metrics.MetricsRegistry` snapshot;
 * ``repro trace [--json]`` — run traced queries and print the recorded
-  span trees (or the raw span export as JSON).
+  span trees (or the raw span export as JSON);
+* ``repro workload run`` — the open/closed-loop load driver
+  (:mod:`repro.bench.driver`): sustained concurrent traffic over the
+  hotset workload with per-op p50–p99, ``BENCH_workload.json``
+  emission, and ``--slo`` gating.
 """
 
 from __future__ import annotations
@@ -268,6 +272,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return stats_main(list(argv[1:]))
     if argv and argv[0] == "trace":
         return trace_main(list(argv[1:]))
+    if argv and argv[0] == "workload":
+        from .bench.driver import workload_main
+
+        return workload_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.cache_size is not None:

@@ -210,6 +210,30 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else None
 
+    def _percentile_locked(self, q: float) -> Optional[float]:
+        """Quantile from the current state; caller holds ``_lock``."""
+        if not self._count:
+            return None
+        target = q * self._count
+        cumulative = 0.0
+        for index, bucket in enumerate(self._counts):
+            if not bucket:
+                continue
+            if cumulative + bucket >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else (self._max if self._max is not None else lower)
+                )
+                fraction = (target - cumulative) / bucket
+                estimate = lower + fraction * (upper - lower)
+                low = self._min if self._min is not None else estimate
+                high = self._max if self._max is not None else estimate
+                return min(max(estimate, low), high)
+            cumulative += bucket
+        return self._max
+
     def percentile(self, q: float) -> Optional[float]:
         """Estimated ``q``-quantile (``q`` in [0, 1]); None when empty.
 
@@ -219,41 +243,28 @@ class Histogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be within [0, 1], got {q}")
         with self._lock:
-            if not self._count:
-                return None
-            target = q * self._count
-            cumulative = 0.0
-            for index, bucket in enumerate(self._counts):
-                if not bucket:
-                    continue
-                if cumulative + bucket >= target:
-                    lower = self.bounds[index - 1] if index > 0 else 0.0
-                    upper = (
-                        self.bounds[index]
-                        if index < len(self.bounds)
-                        else (self._max if self._max is not None else lower)
-                    )
-                    fraction = (target - cumulative) / bucket
-                    estimate = lower + fraction * (upper - lower)
-                    low = self._min if self._min is not None else estimate
-                    high = self._max if self._max is not None else estimate
-                    return min(max(estimate, low), high)
-                cumulative += bucket
-            return self._max
+            return self._percentile_locked(q)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-dict summary: count/sum/min/max/mean + p50/p90/p95/p99."""
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self._min,
-            "max": self._max,
-            "mean": self.mean,
-            "p50": self.percentile(0.50),
-            "p90": self.percentile(0.90),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+        """Plain-dict summary: count/sum/min/max/mean + p50/p90/p95/p99.
+
+        All fields derive from one lock acquisition, so a snapshot taken
+        during concurrent :meth:`observe` calls is internally consistent
+        (``mean == sum / count`` exactly; the percentiles describe the
+        same observations the count does).
+        """
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else None,
+                "p50": self._percentile_locked(0.50),
+                "p90": self._percentile_locked(0.90),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
 
 
 class MetricsRegistry:

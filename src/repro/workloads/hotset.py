@@ -18,7 +18,7 @@ Kernels:
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Callable, List
 
 from ..db.database import Database
 from ..db.latency import INSTANT, LatencyProfile
@@ -75,6 +75,32 @@ def skewed_user_batch(
     return batch
 
 
+def skewed_id_source(
+    db: Database,
+    hot_users: int = 16,
+    hot_fraction: float = 0.9,
+    seed: int = 23,
+) -> Callable[[random.Random], int]:
+    """A draw-one-at-a-time version of :func:`skewed_user_batch` for
+    open-ended traffic (the load driver's clients each hold their own
+    ``random.Random`` and draw ids until their deadline).
+
+    The hot set is fixed up front from ``seed`` so every client — and
+    every run with the same seed — hammers the *same* hot ids, which is
+    what makes the cache/coalescer story reproducible.
+    """
+    rng = random.Random(seed)
+    population = len(db.catalog.table("users").heap)
+    hot = [rng.randrange(population) for _ in range(hot_users)]
+
+    def draw(client_rng: random.Random) -> int:
+        if client_rng.random() < hot_fraction:
+            return client_rng.choice(hot)
+        return client_rng.randrange(population)
+
+    return draw
+
+
 def load_profiles(conn, user_ids):
     """The measured read loop: one profile lookup per (repeated) id."""
     profiles = []
@@ -102,6 +128,27 @@ def profile_card(conn, user_id):
     if rating >= DETAIL_RATING:
         listed = conn.execute_query(DETAIL_SQL, [user_id])
         return (user_id, name, rating, listed[0][0])
+    return (user_id, name, rating, 0)
+
+
+def speculative_profile_card(conn, user_id, site="hotset.card"):
+    """The profile card with the detail read issued *speculatively*.
+
+    This is the hand-written shape of what ``--prefetch --speculate``
+    emits for :func:`profile_card`: the detail lookup dispatches before
+    the guard is known, and the handle is abandoned (settled as a
+    waste in the per-site ledger) on the rare low-rating seller.  The
+    load driver uses it to keep the speculation machinery under
+    sustained pressure.
+    """
+    detail = conn.speculate_query(DETAIL_SQL, [user_id], site=site)
+    row = conn.execute_query(PROFILE_SQL, [user_id])
+    name = row[0][0]
+    rating = row[0][1]
+    if rating >= DETAIL_RATING:
+        listed = conn.fetch_result(detail)
+        return (user_id, name, rating, listed[0][0])
+    conn.abandon(detail)
     return (user_id, name, rating, 0)
 
 

@@ -1,0 +1,278 @@
+"""The open/closed-loop load driver: arrival disciplines, SLO gating,
+BENCH_workload.json emission, and the CLI face."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench.driver import (
+    ALL_OPS,
+    SLO_EXIT_CODE,
+    Operation,
+    check_slos,
+    parse_slo,
+    run_closed_loop,
+    run_hotset_workload,
+    run_open_loop,
+    workload_main,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def noop(_rng):
+    return None
+
+
+class TestClosedLoop:
+    def test_counts_and_throughput(self):
+        result = run_closed_loop(
+            [Operation("op", noop)], clients=2, duration_s=0.2
+        )
+        assert result.mode == "closed"
+        assert result.ops_completed("op") > 0
+        assert result.ops_completed() == result.ops_completed("op")
+        assert result.throughput() > 0
+        assert result.errors[ALL_OPS] == 0
+
+    def test_weighted_mix(self):
+        result = run_closed_loop(
+            [Operation("a", noop, weight=90), Operation("b", noop, weight=10)],
+            clients=1,
+            duration_s=0.2,
+        )
+        a, b = result.ops_completed("a"), result.ops_completed("b")
+        assert a > b  # 9:1 mix; huge sample, enormous margin
+
+    def test_errors_are_counted_not_observed(self):
+        calls = {"n": 0}
+        lock = threading.Lock()
+
+        def flaky(_rng):
+            with lock:
+                calls["n"] += 1
+                if calls["n"] % 2 == 0:
+                    raise RuntimeError("boom")
+
+        result = run_closed_loop(
+            [Operation("flaky", flaky)], clients=1, duration_s=0.1
+        )
+        assert result.errors["flaky"] > 0
+        # errored ops contribute no latency observation
+        assert (
+            result.ops_completed("flaky") + result.errors["flaky"]
+            == calls["n"]
+        )
+
+    def test_latencies_land_in_registry(self):
+        registry = MetricsRegistry()
+        run_closed_loop(
+            [Operation("op", noop)],
+            clients=1,
+            duration_s=0.1,
+            registry=registry,
+        )
+        snap = registry.snapshot()["histograms"]
+        assert snap["workload.op_s"]["count"] > 0
+        assert snap["workload.all_s"]["count"] > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_closed_loop([Operation("op", noop)], clients=0, duration_s=1)
+        with pytest.raises(ValueError):
+            run_closed_loop([Operation("op", noop)], clients=1, duration_s=0)
+        with pytest.raises(ValueError):
+            run_closed_loop([], clients=1, duration_s=1)
+
+
+class TestOpenLoopCoordinatedOmission:
+    """The acceptance-criterion test: latency is measured from the
+    *scheduled* arrival, so a deliberately stalled server inflates the
+    open-loop tail, while the closed loop (which simply stops offering
+    load during the stall) reports a flattering distribution."""
+
+    STALL_S = 0.3
+
+    def make_stalling_op(self):
+        state = {"first": True}
+        lock = threading.Lock()
+
+        def op(_rng):
+            with lock:
+                first = state["first"]
+                state["first"] = False
+            if first:
+                time.sleep(self.STALL_S)
+
+        return Operation("op", op)
+
+    def test_open_loop_charges_queue_delay_to_latency(self):
+        # 100 ops/s for 0.5s on one worker: the 0.3s stall backlogs
+        # ~30 scheduled arrivals, whose queue wait is charged to them.
+        result = run_open_loop(
+            [self.make_stalling_op()],
+            rate=100,
+            duration_s=0.5,
+            workers=1,
+        )
+        p99 = result.histograms["op"].percentile(0.99)
+        assert p99 >= self.STALL_S / 2
+
+    def test_closed_loop_hides_the_same_stall(self):
+        # Same op closed-loop: only the single stalled call is slow,
+        # and the thousands of fast calls afterwards bury it below p99.
+        result = run_closed_loop(
+            [self.make_stalling_op()], clients=1, duration_s=0.5
+        )
+        p99 = result.histograms["op"].percentile(0.99)
+        assert p99 <= self.STALL_S / 6
+
+    def test_open_loop_reports_offered_vs_completed(self):
+        result = run_open_loop(
+            [Operation("op", noop)], rate=200, duration_s=0.2, workers=2
+        )
+        assert any("offered" in note for note in result.notes)
+        assert result.rate == 200
+
+
+class TestBenchJson:
+    def test_figure_carries_percentiles_and_throughput(self):
+        result = run_open_loop(
+            [Operation("op", noop)], rate=200, duration_s=0.2, workers=2
+        )
+        doc = result.to_figure().bench_json()
+        by_name = {series["name"]: series for series in doc["series"]}
+        assert set(by_name) >= {"op", ALL_OPS}
+        for name in ("op", ALL_OPS):
+            latency = by_name[name]["latency"]
+            for key in ("p50", "p90", "p95", "p99"):
+                assert latency[key] is not None
+            throughput = by_name[name]["throughput"]
+            assert throughput["tot_ops"] == result.ops_completed(name)
+            assert throughput["ops_per_s"] > 0
+            assert throughput["errors"] == 0
+        json.dumps(doc)  # JSON-ready end to end
+
+    def test_csv_summary(self, tmp_path):
+        result = run_closed_loop(
+            [Operation("op", noop)], clients=1, duration_s=0.1
+        )
+        path = tmp_path / "workload.csv"
+        result.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("op,tot_ops,ops_per_s,errors,mean_s,p50_s")
+        assert len(lines) == 3  # header + op + all
+
+
+class TestSLO:
+    def test_parse_aggregate_and_per_op(self):
+        slo = parse_slo("p99=0.05")
+        assert (slo.op, slo.stat, slo.threshold_s) == (ALL_OPS, "p99", 0.05)
+        slo = parse_slo("read:p95=0.01")
+        assert (slo.op, slo.stat) == ("read", "p95")
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["p42=0.1", "p99", "p99=abc", "p99=-1", "p99=0", ":p99=0.1", "=0.1"],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo(spec)
+
+    def test_check_passes_and_breaches(self):
+        result = run_closed_loop(
+            [Operation("op", noop)], clients=1, duration_s=0.1
+        )
+        assert check_slos(result, [parse_slo("p99=10")]) == []
+        breaches = check_slos(result, [parse_slo("op:max=0.000000001")])
+        assert len(breaches) == 1
+        assert "exceeds" in breaches[0]
+
+    def test_missing_op_is_a_breach(self):
+        result = run_closed_loop(
+            [Operation("op", noop)], clients=1, duration_s=0.1
+        )
+        breaches = check_slos(result, [parse_slo("nosuch:p99=1")])
+        assert len(breaches) == 1
+        assert "no such operation" in breaches[0]
+
+
+class TestHotsetWorkload:
+    def test_closed_loop_end_to_end(self):
+        result = run_hotset_workload(
+            mode="closed",
+            clients=2,
+            duration_s=0.3,
+            users=200,
+            read_pct=80,
+            coalesce=True,
+            seed=5,
+        )
+        assert result.ops_completed("read") > 0
+        assert result.ops_completed("write") > 0
+        assert result.errors[ALL_OPS] == 0
+        assert any("cache hit_rate" in note for note in result.notes)
+
+    def test_open_loop_with_speculative_details(self):
+        result = run_hotset_workload(
+            mode="open",
+            clients=4,
+            duration_s=0.3,
+            rate=150,
+            users=200,
+            read_pct=80,
+            detail_pct=20,
+            speculate=True,
+            seed=5,
+        )
+        assert result.ops_completed("detail") > 0
+        assert result.errors[ALL_OPS] == 0
+
+
+class TestWorkloadCLI:
+    def run_cli(self, *extra, tmp_path):
+        argv = [
+            "run", "--mode", "closed", "-c", "2", "-d", "0.2",
+            "--users", "200", "--quiet",
+            "--json-dir", str(tmp_path), *extra,
+        ]
+        return workload_main(argv)
+
+    def test_run_writes_bench_workload_json(self, tmp_path):
+        assert self.run_cli("--slo", "p99=10", tmp_path=tmp_path) == 0
+        doc = json.loads((tmp_path / "BENCH_workload.json").read_text())
+        assert doc["figure_id"] == "workload"
+        names = {series["name"] for series in doc["series"]}
+        assert ALL_OPS in names and "read" in names
+        for series in doc["series"]:
+            if series["name"] == ALL_OPS:
+                assert series["latency"]["p99"] is not None
+                assert series["throughput"]["tot_ops"] > 0
+
+    def test_slo_breach_exits_nonzero(self, tmp_path, capsys):
+        code = self.run_cli(
+            "--slo", "all:max=0.000000001", tmp_path=tmp_path
+        )
+        assert code == SLO_EXIT_CODE
+        assert "SLO breach" in capsys.readouterr().err
+
+    def test_open_mode_requires_rate(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            workload_main(["run", "--mode", "open", "-d", "0.2"])
+        assert excinfo.value.code == 2
+
+    def test_rate_rejected_in_closed_mode(self):
+        with pytest.raises(SystemExit) as excinfo:
+            workload_main(["run", "--mode", "closed", "--rate", "100"])
+        assert excinfo.value.code == 2
+
+    def test_speculate_requires_detail_pct(self):
+        with pytest.raises(SystemExit) as excinfo:
+            workload_main(["run", "--speculate"])
+        assert excinfo.value.code == 2
+
+    def test_bad_slo_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            workload_main(["run", "--slo", "p42=0.1"])
+        assert excinfo.value.code == 2

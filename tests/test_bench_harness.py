@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench.harness import FigureData, bench_scale, full_mode, measure
 from repro.db.latency import INSTANT
+from repro.obs.metrics import MetricsRegistry
 
 
 class TestFigureData:
@@ -44,6 +45,57 @@ class TestFigureData:
         value, seconds = measure(lambda: 41 + 1)
         assert value == 42
         assert seconds >= 0
+
+
+class TestAbsorbLatencies:
+    """Regression: a registry carrying custom-bounds histograms (e.g.
+    ``scan.selectivity``) must absorb without a bounds-mismatch crash."""
+
+    def test_custom_bounds_histogram_absorbs_cleanly(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "scan.selectivity", bounds=(0.01, 0.1, 0.5, 1.0)
+        ).observe(0.3)
+        figure = FigureData("figX", "t", "x")
+        figure.absorb_latencies("columnar", reg)  # used to ValueError
+        absorbed = figure.op_latencies["columnar"]
+        assert absorbed.count == 1
+        assert absorbed.bounds == (0.01, 0.1, 0.5, 1.0)
+
+    def test_mismatched_bounds_skip_with_warning(self):
+        default_reg = MetricsRegistry()
+        default_reg.histogram("submission.query_s").observe(0.004)
+        custom_reg = MetricsRegistry()
+        custom_reg.histogram("scan.selectivity", bounds=(0.5, 1.0)).observe(
+            0.7
+        )
+        figure = FigureData("figX", "t", "x")
+        figure.absorb_latencies("series", default_reg)
+        with pytest.warns(RuntimeWarning, match="bucket bounds"):
+            figure.absorb_latencies("series", custom_reg)
+        # The accumulated histogram is untouched by the skipped source.
+        assert figure.op_latencies["series"].count == 1
+
+    def test_matching_bounds_still_merge(self):
+        figure = FigureData("figX", "t", "x")
+        for value in (0.002, 0.008):
+            reg = MetricsRegistry()
+            reg.histogram("submission.query_s").observe(value)
+            figure.absorb_latencies("series", reg)
+        assert figure.op_latencies["series"].count == 2
+
+    def test_series_meta_lands_in_bench_json(self):
+        figure = FigureData("figX", "t", "x")
+        figure.new_series("read")
+        figure.op_histogram("read").observe(0.004)
+        figure.series_meta["read"] = {
+            "throughput": {"tot_ops": 1, "ops_per_s": 10.0, "errors": 0}
+        }
+        doc = figure.bench_json()
+        entry = doc["series"][0]
+        assert entry["name"] == "read"
+        assert entry["throughput"]["ops_per_s"] == 10.0
+        assert entry["latency"]["count"] == 1
 
 
 class TestEnvKnobs:

@@ -2,6 +2,7 @@
 and the unified registry's snapshot/source machinery."""
 
 import json
+import threading
 
 import pytest
 
@@ -104,6 +105,89 @@ class TestHistogram:
         hist.reset()
         assert hist.count == 0
         assert hist.percentile(0.5) is None
+
+    def test_snapshot_is_consistent_under_concurrent_observes(self):
+        """A snapshot taken while another thread observes must describe
+        one consistent state: with every observation equal to 1.0,
+        sum == count exactly (the torn multi-lock snapshot could pair a
+        newer sum with an older count)."""
+        hist = Histogram("lat")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                hist.observe(1.0)
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(500):
+                snap = hist.snapshot()
+                if snap["count"]:
+                    assert snap["sum"] == pytest.approx(
+                        float(snap["count"]), abs=1e-9
+                    )
+                    assert snap["mean"] == pytest.approx(1.0, abs=1e-12)
+                    assert snap["min"] == 1.0
+                    assert snap["max"] == 1.0
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestPercentileEdges:
+    """Lock in the clamp-to-[min, max] contract at the edges."""
+
+    def test_quantile_out_of_range_raises(self):
+        hist = Histogram("lat")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.01)
+        with pytest.raises(ValueError):
+            hist.percentile(1.01)
+
+    def test_q0_and_q1_clamp_to_observed_extremes(self):
+        hist = Histogram("lat")
+        for value in (0.002, 0.004, 0.006):
+            hist.observe(value)
+        assert hist.percentile(0.0) == pytest.approx(0.002)
+        assert hist.percentile(1.0) == pytest.approx(0.006)
+
+    def test_single_observation_at_every_quantile(self):
+        hist = Histogram("lat")
+        hist.observe(0.0042)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert hist.percentile(q) == pytest.approx(0.0042)
+
+    def test_target_exactly_on_bucket_boundary(self):
+        # A value equal to a bucket's upper edge lands in that bucket
+        # (bisect_left), and the single-observation clamp still returns
+        # the exact value, not an interpolated interior point.
+        hist = Histogram("lat", bounds=(0.001, 0.01, 0.1))
+        hist.observe(0.01)
+        assert hist.percentile(0.5) == pytest.approx(0.01)
+
+    def test_overflow_bucket_values(self):
+        hist = Histogram("lat", bounds=(0.001, 0.01))
+        hist.observe(5.0)  # far beyond the last edge
+        assert hist.percentile(0.5) == pytest.approx(5.0)
+        snap = hist.snapshot()
+        assert snap["p99"] == pytest.approx(5.0)
+        assert snap["max"] == pytest.approx(5.0)
+
+    def test_merged_histogram_percentiles(self):
+        low = Histogram("lat")
+        high = Histogram("lat")
+        for _ in range(50):
+            low.observe(0.001)
+            high.observe(1.0)
+        low.merge(high)
+        assert low.count == 100
+        # The lower half of the distribution stays in the fast bucket...
+        assert low.percentile(0.25) <= 0.002
+        # ...and the tail reflects the slow half, clamped to max.
+        assert low.percentile(0.99) >= 0.5
+        assert low.percentile(1.0) == pytest.approx(1.0)
 
 
 class TestRegistry:

@@ -1,0 +1,45 @@
+"""Pluggable statement stores behind the submission pipeline.
+
+See docs/BACKENDS.md for the interface contract and the invalidation
+semantics table.  ``InMemoryBackend`` and ``SqliteBackend`` are exposed
+lazily (PEP 562): they import :mod:`repro.db.server`, which itself
+imports :mod:`repro.backends.base`, and an eager import here would
+close that cycle mid-initialization.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    BACKENDS,
+    Backend,
+    CacheInvalidationLedger,
+    resolve_backend_name,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CacheInvalidationLedger",
+    "InMemoryBackend",
+    "SqliteBackend",
+    "resolve_backend_name",
+]
+
+_LAZY = {
+    "InMemoryBackend": ("repro.backends.memory", "InMemoryBackend"),
+    "SqliteBackend": ("repro.backends.sqlite", "SqliteBackend"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value

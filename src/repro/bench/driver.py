@@ -655,6 +655,15 @@ def build_workload_parser() -> argparse.ArgumentParser:
         help="execution engine (default: server default)",
     )
     run.add_argument(
+        "--backend", choices=("memory", "sqlite"), default=None,
+        help=(
+            "statement store behind the connection: memory (the "
+            "simulated in-memory server) or sqlite (stdlib sqlite3 "
+            "behind the same interface — honest file-backed latency; "
+            "see docs/BACKENDS.md); default: REPRO_BACKEND, else memory"
+        ),
+    )
+    run.add_argument(
         "--async-workers", type=int, default=10, metavar="N",
         help="connection-side async worker threads (default 10)",
     )
@@ -736,6 +745,7 @@ def workload_main(argv: Sequence[str]) -> int:
             cache_size=0 if args.no_cache else args.cache_size,
             coalesce=args.coalesce,
             executor=args.executor,
+            backend=args.backend,
             async_workers=args.async_workers,
             seed=args.seed,
             report_interval_s=args.report_interval,
@@ -779,6 +789,7 @@ def run_hotset_workload(
     cache_size: int = 512,
     coalesce: bool = False,
     executor: Optional[str] = None,
+    backend: Optional[str] = None,
     async_workers: int = 10,
     seed: int = 17,
     report_interval_s: float = 0.0,
@@ -812,6 +823,7 @@ def run_hotset_workload(
             coalesce=coalesce,
             metrics=registry,
             executor=executor,
+            backend=backend,
         ) as conn:
             operations = build_hotset_operations(
                 db,
@@ -854,11 +866,13 @@ def run_hotset_workload(
             finally:
                 if reporter is not None:
                     reporter.__exit__(None, None, None)
+        store = db.backend(backend)
         result.notes.append(
             f"profile={profile.name} users={users} read_pct={read_pct:g} "
             f"cache={'off' if cache is None else cache_size} "
             f"coalesce={coalesce} "
-            f"executor={executor or db.server.default_executor}"
+            f"executor={executor or store.default_executor} "
+            f"backend={store.backend_name}"
         )
         if cache is not None:
             stats = cache.stats
@@ -866,7 +880,7 @@ def run_hotset_workload(
                 f"cache hit_rate={stats.hit_rate:.3f} "
                 f"(hits={stats.hits} misses={stats.misses})"
             )
-        server = db.server.stats
+        server = store.stats
         if server.batched_calls:
             result.notes.append(
                 f"coalescer: {server.batched_calls} batched calls answered "

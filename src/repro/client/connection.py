@@ -94,7 +94,15 @@ Query = Union[str, PreparedQuery]
 
 
 class Connection:
-    """A client connection to one database server.
+    """A client connection to one statement store.
+
+    ``server`` is any :class:`repro.backends.base.Backend` — the
+    simulated in-memory :class:`~repro.db.server.DatabaseServer` (the
+    default) or a DB-API store like
+    :class:`repro.backends.sqlite.SqliteBackend`; everything below
+    (cache protocol, coalescing, speculation, tracing, metrics) is
+    backend-agnostic, which `tests/test_backend_differential.py`
+    enforces by diffing the two stores statement by statement.
 
     ``async_workers`` sets the size of the client-side thread pool used
     for asynchronous submissions — the "number of threads" knob in the

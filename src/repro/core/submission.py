@@ -838,8 +838,22 @@ class DispatchCoalescer:
         self._pipeline = pipeline
         self._window = window
         self._lock = threading.Lock()
-        #: statement_id -> (prepared, FIFO of pending entries)
-        self._pending: Dict[int, Tuple[PreparedStatement, Deque[_PendingDispatch]]] = {}
+        #: (backend identity, statement_id) -> (prepared, FIFO of
+        #: pending entries).  Statement ids are per-backend counters, so
+        #: the id alone would collide across two live backends and merge
+        #: different statements — or the same text bound for different
+        #: stores — into one batch; the backend identity in the key
+        #: guarantees a coalesced batch never executes against the wrong
+        #: store.
+        self._pending: Dict[
+            tuple, Tuple[PreparedStatement, Deque[_PendingDispatch]]
+        ] = {}
+
+    def _batch_key(self, prepared: PreparedStatement) -> tuple:
+        origin = getattr(prepared, "origin", None)
+        if origin is None:
+            origin = self._pipeline._server
+        return (id(origin), prepared.statement_id)
 
     @property
     def window(self) -> int:
@@ -924,30 +938,30 @@ class DispatchCoalescer:
         server.meter.charge("queue", server.profile.send_overhead_s)
         if entry.span is not None:
             entry.queue_span = entry.span.child("coalesce")
-        statement_id = prepared.statement_id
+        batch_key = self._batch_key(prepared)
         with self._lock:
-            group = self._pending.get(statement_id)
+            group = self._pending.get(batch_key)
             if group is None:
                 group = (prepared, deque())
-                self._pending[statement_id] = group
+                self._pending[batch_key] = group
             group[1].append(entry)
         try:
             self._pipeline.executor.submit(
-                lambda: self._flush(statement_id),
+                lambda: self._flush(batch_key),
                 label=f"coalesce:{prepared.sql[:32]}",
             )
         except BaseException as exc:
             # Mirror the plain path: never strand single-flight
             # followers on a submission that could not be queued.  Only
             # unwind if no concurrent flusher already claimed the entry.
-            if self._discard(statement_id, entry):
+            if self._discard(batch_key, entry):
                 if entry.lease is not None:
                     self._pipeline.cache.fail(entry.lease, exc)
             raise
 
-    def _discard(self, statement_id: int, entry: _PendingDispatch) -> bool:
+    def _discard(self, batch_key: tuple, entry: _PendingDispatch) -> bool:
         with self._lock:
-            group = self._pending.get(statement_id)
+            group = self._pending.get(batch_key)
             if group is None:
                 return False
             try:
@@ -955,28 +969,28 @@ class DispatchCoalescer:
             except ValueError:
                 return False
             if not group[1]:
-                del self._pending[statement_id]
+                del self._pending[batch_key]
             return True
 
     # ------------------------------------------------------------------
     # flushing (runs on executor workers)
     # ------------------------------------------------------------------
-    def _flush(self, statement_id: int) -> int:
-        prepared, batch = self._take(statement_id)
+    def _flush(self, batch_key: tuple) -> int:
+        prepared, batch = self._take(batch_key)
         if batch:
             self._execute(prepared, batch)
         return len(batch)
 
-    def _take(self, statement_id: int):
+    def _take(self, batch_key: tuple):
         with self._lock:
-            group = self._pending.get(statement_id)
+            group = self._pending.get(batch_key)
             if group is None:
                 return None, []
             prepared, queue = group
             count = min(len(queue), self._window)
             batch = [queue.popleft() for _ in range(count)]
             if not queue:
-                del self._pending[statement_id]
+                del self._pending[batch_key]
             return prepared, batch
 
     def _execute(
@@ -1037,7 +1051,10 @@ class DispatchCoalescer:
                     batch_span.link(root.span_id)
                     root.set("coalesced", True)
                     root.set("dispatch_span", batch_span.span_id)
-        server = pipeline._server
+        # The batch key pinned every entry to one backend; route the
+        # batched call to the *statement's* backend, never another store
+        # that happens to share the pipeline.
+        server = getattr(prepared, "origin", None) or pipeline._server
         rtt = server.profile.network_rtt_s
         if rtt:
             server.meter.charge("network", rtt)  # ONE round trip, N queries
@@ -1193,6 +1210,15 @@ class SubmissionPipeline:
         statement = getattr(query, "server_statement", None)
         if statement is not None:
             bound = tuple(params) if params else query.snapshot_params()
+            origin = getattr(statement, "origin", None)
+            if origin is not None and origin is not self._server:
+                # The statement was prepared on a *different* backend
+                # (two backends can be live in one process): re-prepare
+                # on ours.  Statement ids are per-backend counters, so
+                # forwarding the foreign handle would execute a
+                # same-numbered stranger — or hand the coalescer a batch
+                # pointed at the wrong store.
+                statement = self._server.prepare(statement.sql)
             return statement, bound
         if isinstance(query, str):
             return self._server.prepare(query), tuple(params)

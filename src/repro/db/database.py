@@ -8,8 +8,9 @@ and ``io_report`` (per-run IO accounting for EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from ..backends.base import Backend, resolve_backend_name
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from .buffer import BufferPool
@@ -54,6 +55,63 @@ class Database:
         )
         self.metrics.register_source("server", self.server.stats_snapshot)
         self.metrics.register_source("io", self.io_report)
+        #: Backend registry: the in-memory server is the default
+        #: (``"memory"``); others are created lazily by :meth:`backend`
+        #: and seeded with the catalog's schema, data and indexes.
+        self._backends: Dict[str, Backend] = {"memory": self.server}
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def backend(self, name: Optional[str] = None) -> Backend:
+        """The named statement store (see docs/BACKENDS.md).
+
+        ``None`` defers to the ``REPRO_BACKEND`` environment variable,
+        else ``"memory"`` — the in-memory :class:`DatabaseServer` this
+        instance was built around.  Other backends (``"sqlite"``) are
+        created on first use and seeded with every table, row and index
+        the catalog holds at that moment; later DDL and bulk loads
+        through *this facade* are mirrored into them, so the same
+        workload can run against either store.
+        """
+        name = resolve_backend_name(name)
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = self._create_backend(name)
+            self._backends[name] = backend
+            self.metrics.register_source(
+                f"backend.{name}", backend.stats_snapshot
+            )
+        return backend
+
+    def _create_backend(self, name: str) -> Backend:
+        from ..backends.sqlite import SqliteBackend
+
+        assert name == "sqlite", name
+        backend = SqliteBackend(default_executor=self.server.default_executor)
+        for table_name in self.catalog.table_names():
+            info = self.catalog.table(table_name)
+            heap = info.heap
+            backend.mirror_create_table(
+                table_name,
+                heap.schema,
+                rows_per_page=heap.rows_per_page,
+                clustered_on=heap.clustered_on,
+            )
+            rows = [row for _row_id, row in heap.iter_rows()]
+            if rows:
+                backend.mirror_load(table_name, rows)
+            from .index import OrderedIndex
+
+            for index in info.indexes:
+                backend.mirror_create_index(
+                    index.name,
+                    table_name,
+                    index.column,
+                    ordered=isinstance(index, OrderedIndex),
+                    unique=getattr(index, "unique", False),
+                )
+        return backend
 
     # ------------------------------------------------------------------
     # DDL / loading
@@ -72,6 +130,22 @@ class Database:
             name, schema, rows_per_page=rows_per_page, clustered_on=clustered_on
         )
         self.server.invalidate_plans()
+        for backend in self._other_backends():
+            backend.mirror_create_table(
+                name,
+                schema,
+                rows_per_page=rows_per_page,
+                clustered_on=clustered_on,
+            )
+
+    def _other_backends(self):
+        """Every live backend except the in-memory server (out-of-band
+        DDL and loads through this facade are mirrored into them)."""
+        return [
+            backend
+            for backend_name, backend in self._backends.items()
+            if backend_name != "memory"
+        ]
 
     def create_index(
         self,
@@ -85,6 +159,10 @@ class Database:
             index_name, table, column, ordered=ordered, unique=unique
         )
         self.server.invalidate_plans()
+        for backend in self._other_backends():
+            backend.mirror_create_index(
+                index_name, table, column, ordered=ordered, unique=unique
+            )
 
     def bulk_load(self, table: str, rows: Iterable[Sequence]) -> int:
         """Load rows without charging any simulated latency.
@@ -94,6 +172,8 @@ class Database:
         """
         info = self.catalog.table(table)
         count = 0
+        loaded = []
+        mirror = self._other_backends()
         with info.heap.lock.writing():
             for values in rows:
                 row = info.heap.schema.coerce_row(values)
@@ -101,8 +181,12 @@ class Database:
                 for index in info.indexes:
                     position = info.heap.schema.position(index.column, table)
                     index.add(row_id, row[position])
+                if mirror:
+                    loaded.append(row)
                 count += 1
         self.disk.grow_extent(table, info.heap.page_count)
+        for backend in mirror:
+            backend.mirror_load(table, loaded)
         return count
 
     # ------------------------------------------------------------------
@@ -131,6 +215,7 @@ class Database:
         trace: bool = False,
         metrics=None,
         executor: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         """Open a client connection (imported lazily to avoid a cycle).
 
@@ -160,6 +245,13 @@ class Database:
         tuple-at-a-time engine, kept as a correctness oracle).  ``None``
         defers to the server default (the ``REPRO_EXECUTOR``
         environment variable, else columnar).
+
+        ``backend`` picks the statement store behind the connection:
+        ``"memory"`` (the simulated in-memory server — the default) or
+        ``"sqlite"`` (stdlib ``sqlite3`` behind the same interface; see
+        docs/BACKENDS.md).  ``None`` defers to the ``REPRO_BACKEND``
+        environment variable, else memory.  Cache, coalescing,
+        speculation, tracing and metrics work identically on either.
         """
         from ..client.connection import Connection
 
@@ -169,21 +261,25 @@ class Database:
             tracer = self.tracer
         if metrics is True:
             metrics = self.metrics
+        server = self.backend(backend)
         return Connection(
-            self.server,
+            server,
             async_workers=async_workers,
             result_cache=result_cache,
             coalesce=coalesce,
             coalesce_window=coalesce_window,
             tracer=tracer,
             metrics=metrics,
-            executor=self.server.resolve_executor(executor),
+            executor=server.resolve_executor(executor),
         )
 
     def register_cache(self, cache) -> None:
         """Register a standalone :class:`ResultCache` for server-side
-        write invalidation without attaching it to a connection."""
-        self.server.register_cache(cache)
+        write invalidation without attaching it to a connection.  It
+        registers with the *default* backend (``REPRO_BACKEND`` else
+        memory) — the store parameterless ``connect()`` calls write
+        through."""
+        self.backend().register_cache(cache)
 
     # ------------------------------------------------------------------
     # administration
@@ -245,7 +341,8 @@ class Database:
         return self.metrics.snapshot()
 
     def close(self) -> None:
-        self.server.shutdown()
+        for backend in self._backends.values():
+            backend.shutdown()
 
     def __enter__(self) -> "Database":
         return self

@@ -10,14 +10,13 @@ threads beyond the server's effective parallelism stop helping.
 from __future__ import annotations
 
 import itertools
-import os
 import threading
-import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..backends.base import Backend
 from .buffer import BufferPool
 from .catalog import Catalog
 from .errors import ServerShutdownError, StatementHandleError
@@ -55,29 +54,48 @@ class ServerStats:
 
 
 class PreparedStatement:
-    """Server-side prepared statement (parse + plan done once)."""
+    """Server-side prepared statement (parse + plan done once).
 
-    __slots__ = ("statement_id", "sql", "ast", "plan", "catalog_version")
+    ``origin`` is the backend that prepared it: the submission pipeline
+    re-prepares a statement handed to a connection on a *different*
+    backend, and the dispatch coalescer keys batches by it so coalesced
+    reads never execute against the wrong store.
+    """
 
-    def __init__(self, statement_id: int, sql: str, ast: Statement, plan, version: int) -> None:
+    __slots__ = ("statement_id", "sql", "ast", "plan", "catalog_version", "origin")
+
+    def __init__(
+        self,
+        statement_id: int,
+        sql: str,
+        ast: Statement,
+        plan,
+        version: int,
+        origin=None,
+    ) -> None:
         self.statement_id = statement_id
         self.sql = sql
         self.ast = ast
         self.plan = plan
         self.catalog_version = version
+        self.origin = origin
 
 
-class DatabaseServer:
-    """Executes SQL against one catalog with simulated costs."""
+class DatabaseServer(Backend):
+    """Executes SQL against one catalog with simulated costs.
+
+    This is the default (``"memory"``) :class:`repro.backends.base.Backend`
+    — and, because every cost is simulated and every semantic choice is
+    spelled out in the engine, the differential-test *oracle* other
+    backends are diffed against."""
+
+    backend_name = "memory"
 
     #: Default cap on the prepared-statement cache.  Generous: a real
     #: application's distinct statement texts number in the hundreds;
     #: the cap exists so a query-text generator (or an ORM emitting
     #: literals) cannot grow server memory without bound.
     DEFAULT_MAX_PREPARED = 512
-
-    #: Engine kinds a statement may run under.
-    EXECUTORS = ("row", "columnar")
 
     #: Selectivity histogram buckets (fraction of a batch's candidate
     #: rows surviving the filter).
@@ -96,18 +114,7 @@ class DatabaseServer:
     ) -> None:
         if max_prepared < 1:
             raise ValueError(f"max_prepared must be >= 1, got {max_prepared}")
-        if default_executor is None:
-            # The vectorized engine is the default; REPRO_EXECUTOR=row
-            # flips a whole process (the CI matrix runs both).
-            default_executor = (
-                os.environ.get("REPRO_EXECUTOR", "").strip() or "columnar"
-            )
-        if default_executor not in self.EXECUTORS:
-            raise ValueError(
-                f"unknown executor {default_executor!r} "
-                f"(expected one of {self.EXECUTORS})"
-            )
-        self.default_executor = default_executor
+        super().__init__(default_executor=default_executor)
         #: Scan instruments in the database-wide metrics registry (the
         #: per-batch counters the columnar executor reports).  None when
         #: the database attached no registry.
@@ -136,23 +143,6 @@ class DatabaseServer:
         self._catalog_version = 0
         self._active = 0
         self._shutdown = False
-        #: Result caches registered for server-side write invalidation.
-        #: Weak references: a cache lives exactly as long as some client
-        #: holds it; no unregistration bookkeeping on connection close.
-        self._caches: "weakref.WeakSet" = weakref.WeakSet()
-        #: Per-table write-version counters (and a global total), bumped
-        #: on every executed write statement and on every rollback's
-        #: undo.  Cached readers capture a version token before
-        #: executing and publish only if it is unchanged — the
-        #: optimistic check that keeps a read overlapping *any* data
-        #: change out of the cache.
-        self._write_versions: Dict[str, int] = {}
-        self._writes_total = 0
-        #: Tables with uncommitted transactional writes (refcounted:
-        #: cleared as each transaction finishes).  Reads of these
-        #: tables bypass the cache: the value observed may be dirty,
-        #: and a rolled-back write never broadcasts an invalidation.
-        self._uncommitted: Dict[Optional[str], int] = {}
         self.stats = ServerStats()
         self.txns = TransactionManager(catalog)
         self.txns.invalidation_hook = self.broadcast_invalidation
@@ -204,7 +194,12 @@ class DatabaseServer:
                 # goes with it; the old object stays usable by holders.
                 self._prepared.pop(previous.statement_id, None)
             prepared = PreparedStatement(
-                next(self._statement_ids), sql, ast, plan, self._catalog_version
+                next(self._statement_ids),
+                sql,
+                ast,
+                plan,
+                self._catalog_version,
+                origin=self,
             )
             self._prepared[prepared.statement_id] = prepared
             self._plan_cache[sql] = prepared
@@ -226,103 +221,13 @@ class DatabaseServer:
                 ) from None
 
     # ------------------------------------------------------------------
-    # result-cache registry (server-side invalidation)
-    # ------------------------------------------------------------------
-    def register_cache(self, cache) -> None:
-        """Register a result cache for write-driven invalidation.
-
-        Every write executed by this server — through any connection,
-        cached or cache-less, autocommit or transactional — broadcasts a
-        per-table invalidation to every registered cache; transactional
-        writes broadcast at commit, never at rollback.  Registration is
-        idempotent and weak: the server never keeps a cache alive.
-        """
-        with self._lock:
-            self._caches.add(cache)
-
-    def unregister_cache(self, cache) -> None:
-        with self._lock:
-            self._caches.discard(cache)
-
-    @property
-    def registered_cache_count(self) -> int:
-        with self._lock:
-            return len(self._caches)
-
-    def broadcast_invalidation(self, table: Optional[str]) -> int:
-        """Drop entries reading ``table`` from every registered cache
-        (``None`` drops everything); returns total entries dropped."""
-        with self._lock:
-            caches = list(self._caches)
-        dropped = 0
-        for cache in caches:
-            dropped += cache.invalidate_table(table)
-        return dropped
-
-    # ------------------------------------------------------------------
-    # cache-consistency bookkeeping (the submission pipeline reads these)
-    # ------------------------------------------------------------------
-    def note_data_change(self, table: Optional[str]) -> None:
-        """Bump the write version of ``table`` (None = unknown target).
-
-        Called for every executed write statement and for every
-        rollback's undo: both change table data, and either must spoil
-        any cached read that overlapped it.
-        """
-        with self._lock:
-            key = table if table is not None else "*"
-            self._write_versions[key] = self._write_versions.get(key, 0) + 1
-            self._writes_total += 1
-
-    def read_validity(self, tables) -> int:
-        """A token that changes whenever any of ``tables`` may have
-        changed (the wildcard observes every write)."""
-        with self._lock:
-            if "*" in tables:
-                return self._writes_total
-            return self._write_versions.get("*", 0) + sum(
-                self._write_versions.get(table, 0) for table in tables
-            )
-
-    def mark_uncommitted(self, table: Optional[str]) -> None:
-        with self._lock:
-            self._uncommitted[table] = self._uncommitted.get(table, 0) + 1
-
-    def clear_uncommitted(self, table: Optional[str]) -> None:
-        with self._lock:
-            count = self._uncommitted.get(table, 0) - 1
-            if count > 0:
-                self._uncommitted[table] = count
-            else:
-                self._uncommitted.pop(table, None)
-
-    def has_uncommitted_writes(self, tables) -> bool:
-        """Is any of ``tables`` under an open transaction's write?
-
-        Reads of such tables must bypass the cache: they may observe
-        uncommitted values, and a rollback never broadcasts.
-        """
-        with self._lock:
-            if not self._uncommitted:
-                return False
-            if None in self._uncommitted or "*" in tables:
-                return True
-            return any(table in self._uncommitted for table in tables)
-
-    # ------------------------------------------------------------------
     # execution
+    #
+    # (The result-cache registry, write-versioning and uncommitted-write
+    # marks — the cache-consistency bookkeeping the submission pipeline
+    # reads — are inherited from Backend's CacheInvalidationLedger; this
+    # server drives them from its write path below.)
     # ------------------------------------------------------------------
-    def resolve_executor(self, executor: Optional[str]) -> str:
-        """Validate an executor kind, defaulting to the server's."""
-        if executor is None:
-            return self.default_executor
-        if executor not in self.EXECUTORS:
-            raise ValueError(
-                f"unknown executor {executor!r} "
-                f"(expected one of {self.EXECUTORS})"
-            )
-        return executor
-
     def submit(
         self,
         sql: str,
@@ -393,16 +298,6 @@ class DatabaseServer:
         return self._pool.submit(
             self._run_prepared_batch, prepared, snapshot, txn, span, executor
         )
-
-    def execute(
-        self,
-        sql: str,
-        params: Sequence = (),
-        txn: Optional[Transaction] = None,
-        executor: Optional[str] = None,
-    ) -> QueryResult:
-        """Synchronous execution (still bounded by the worker pool)."""
-        return self.submit(sql, params, txn, executor=executor).result()
 
     # ------------------------------------------------------------------
     # transactions
@@ -644,7 +539,7 @@ class DatabaseServer:
         with self._lock:
             snap = dict(asdict(self.stats))
             snap["prepared_cached"] = len(self._plan_cache)
-            snap["registered_caches"] = len(self._caches)
+            snap["registered_caches"] = self.ledger.cache_count
             snap["active"] = self._active
         return snap
 

@@ -375,6 +375,7 @@ def aio_connect(
     trace: bool = False,
     metrics=None,
     executor: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> AioConnection:
     """Open an :class:`AioConnection` on a :class:`repro.db.Database`.
 
@@ -389,7 +390,8 @@ def aio_connect(
     attach observability exactly as ``Database.connect`` does; the aio
     front end records completion latencies from done callbacks (no
     blocking fetch ever runs).  ``executor`` picks the execution engine
-    (``"columnar"``/``"row"``), again mirroring ``Database.connect``.
+    (``"columnar"``/``"row"``) and ``backend`` the statement store
+    (``"memory"``/``"sqlite"``), again mirroring ``Database.connect``.
     """
     return AioConnection(
         database.connect(
@@ -400,6 +402,7 @@ def aio_connect(
             trace=trace,
             metrics=metrics,
             executor=executor,
+            backend=backend,
         )
     )
 

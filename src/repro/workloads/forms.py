@@ -92,4 +92,7 @@ def expand_form_ranges(conn, issues):
 
 
 def loaded_form_count(db: Database) -> int:
-    return len(db.catalog.table("forms_master").heap)
+    # Counted through a connection rather than the heap so the check
+    # holds whichever backend the kernels wrote to (REPRO_BACKEND).
+    with db.connect(async_workers=1) as conn:
+        return conn.execute_query("SELECT count(*) FROM forms_master").scalar()

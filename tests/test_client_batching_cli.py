@@ -58,7 +58,9 @@ class TestBatchExecutor:
         db = Database(INSTANT)
         db.create_table("t", ("a", "int"), ("grp", "int"))
         db.bulk_load("t", [(i, i % 4) for i in range(40)])
-        conn = db.connect()
+        # Engine-specific semantics (unhashable params skip the demux
+        # bucket index): pin the in-memory backend.
+        conn = db.connect(backend="memory")
         batch = BatchExecutor(conn)
         sql = "SELECT count(*) FROM t WHERE grp = ?"
         plain = conn.execute_query(sql, [[1]])
@@ -82,7 +84,7 @@ class TestBatchExecutor:
         db = Database(INSTANT)
         db.create_table("t", ("a", "int"), ("grp", "int"))
         db.bulk_load("t", [(i, i % 4) for i in range(40)])  # no index: seq plan
-        conn = db.connect()
+        conn = db.connect(backend="memory")  # asserts engine scan stats
         batch = BatchExecutor(conn)
         stats = db.server.stats
         before = stats.statements_executed
@@ -101,7 +103,7 @@ class TestBatchExecutor:
         db.close()
 
     def test_fanout_mode_keeps_per_binding_statements(self, loaded):
-        conn = loaded.connect()
+        conn = loaded.connect(backend="memory")  # asserts server stats
         batch = BatchExecutor(conn, set_oriented=False)
         stats = loaded.server.stats
         before = stats.statements_executed
@@ -115,7 +117,7 @@ class TestBatchExecutor:
 
     def test_one_round_trip_per_batch(self):
         db = self._tiny_latency_db()
-        conn = db.connect()
+        conn = db.connect(backend="memory")  # asserts meter charges
         batch = BatchExecutor(conn)
         db.meter.reset()
         batch.execute_batch(
@@ -127,7 +129,7 @@ class TestBatchExecutor:
 
     def test_blocking_loop_pays_n_round_trips(self):
         db = self._tiny_latency_db()
-        conn = db.connect()
+        conn = db.connect(backend="memory")  # asserts meter charges
         db.meter.reset()
         for grp in range(4):
             conn.execute_query("SELECT count(*) FROM t WHERE grp = ?", [grp])

@@ -81,7 +81,7 @@ class TestServerSideInvalidation:
         cache = ResultCache(capacity=8)
         first = users_db.connect(result_cache=cache)
         second = users_db.connect(result_cache=cache)
-        assert users_db.server.registered_cache_count == 1
+        assert users_db.backend().registered_cache_count == 1
         first.close()
         second.close()
 
@@ -123,8 +123,10 @@ class TestServerSideInvalidation:
         (which broadcasts nothing) that value never existed in any
         committed state."""
         cache = ResultCache(capacity=16)
-        reader = users_db.connect(result_cache=cache)
-        writer = users_db.connect()
+        # Dirty reads are an engine artifact (non-txn reads take no
+        # locks there; SQLite isolates writers): pin the memory backend.
+        reader = users_db.connect(result_cache=cache, backend="memory")
+        writer = users_db.connect(backend="memory")
         writer.begin()
         writer.execute_update(WRITE_USER, [99, 7])  # uncommitted
         assert reader.execute_query(READ_USER, [7]).scalar() == 99  # dirty
@@ -141,7 +143,7 @@ class TestServerSideInvalidation:
         undo bumps the table's write version, failing the publication
         check."""
         cache = ResultCache(capacity=16)
-        pipeline_server = users_db.server
+        pipeline_server = users_db.backend()  # the store connects use
         lease = cache.acquire((READ_USER, (7,)), tables=["users"])
         token = pipeline_server.read_validity(["users"])
         writer = users_db.connect()
@@ -303,13 +305,14 @@ class TestCacheTtl:
         now = [0.0]
         cache = ResultCache(capacity=16, ttl_s=30.0, clock=lambda: now[0])
         conn = users_db.connect(result_cache=cache)
+        store = users_db.backend()  # stats of whichever store conn uses
         conn.execute_query(READ_USER, [3])
-        executed = users_db.server.stats.statements_executed
+        executed = store.stats.statements_executed
         conn.execute_query(READ_USER, [3])  # within TTL: served locally
-        assert users_db.server.stats.statements_executed == executed
+        assert store.stats.statements_executed == executed
         now[0] = 31.0
         conn.execute_query(READ_USER, [3])  # expired: re-executed
-        assert users_db.server.stats.statements_executed == executed + 1
+        assert store.stats.statements_executed == executed + 1
         assert cache.stats.expirations == 1
         conn.close()
 

@@ -173,11 +173,12 @@ class TestStateMachine:
             connection.rollback()
 
     def test_manager_tracks_active_count(self, db, conn):
-        assert db.server.txns.active_count == 0
+        txns = conn.server.txns  # whichever backend the conn talks to
+        assert txns.active_count == 0
         conn.begin()
-        assert db.server.txns.active_count == 1
+        assert txns.active_count == 1
         conn.commit()
-        assert db.server.txns.active_count == 0
+        assert txns.active_count == 0
 
 
 # ----------------------------------------------------------------------
@@ -342,12 +343,15 @@ class TestLockManager:
         with pytest.raises(TransactionTimeoutError):
             lock_manager.acquire(txn_b, "t", SHARED)
 
-    def test_undo_depth_counts_entries(self, conn):
-        txn = conn.begin()
-        conn.execute_update("insert into t values (7, 'g')")
-        conn.execute_update("delete from t where id = 7")
-        assert txn.undo_depth == 2
-        conn.rollback()
+    def test_undo_depth_counts_entries(self, db):
+        # The logical undo log is engine-internal (the sqlite backend
+        # rolls back via its own journal): pin the in-memory backend.
+        with db.connect(async_workers=4, backend="memory") as conn:
+            txn = conn.begin()
+            conn.execute_update("insert into t values (7, 'g')")
+            conn.execute_update("delete from t where id = 7")
+            assert txn.undo_depth == 2
+            conn.rollback()
 
 
 class TestConcurrencyAcrossTables:
@@ -367,7 +371,11 @@ class TestConcurrencyAcrossTables:
             except Exception as exc:  # pragma: no cover - fail loud
                 errors.append(exc)
 
-        with db.connect() as c1, db.connect() as c2:
+        # Table-granularity locking is the engine's promise; SQLite
+        # admits one writer per database, so pin the memory backend.
+        with db.connect(backend="memory") as c1, db.connect(
+            backend="memory"
+        ) as c2:
             threads = [
                 threading.Thread(target=writer, args=("t", c1)),
                 threading.Thread(target=writer, args=("u", c2)),

@@ -40,7 +40,7 @@ class TestCoalescing:
         assert stats.coalesced_batches == 1
         assert stats.coalesced_queries == 8
         assert stats.round_trips_saved == 7
-        assert grouped.server.stats.batched_calls == 1
+        assert conn.server.stats.batched_calls == 1
         conn.close()
 
     def test_results_match_plain_dispatch(self, grouped):
@@ -129,7 +129,7 @@ class TestCoalescing:
         assert [len(conn.fetch_result(h)) for h in rows] == [10, 10]
         # Two statements, two batches — never mixed.
         assert conn.stats.coalesced_batches == 2
-        assert grouped.server.stats.batched_calls == 2
+        assert conn.server.stats.batched_calls == 2
         conn.close()
 
     def test_writes_are_never_coalesced(self, grouped):
@@ -384,3 +384,64 @@ class TestAioFrontEnd:
             aconn.close()
 
         asyncio.run(main())
+
+
+class TestBackendIdentity:
+    """Two backends live in one process: statement ids are per-backend
+    counters, so the coalescer must key batches by (origin, id) and the
+    pipeline must re-prepare foreign handles — otherwise a batch built
+    against one store can execute against the other."""
+
+    def diverged(self, grouped):
+        # Instantiate the sqlite mirror, then write through memory only
+        # so the two stores answer the same SQL differently.
+        grouped.backend("sqlite")
+        with grouped.connect(async_workers=1, backend="memory") as admin:
+            admin.execute_update("INSERT INTO t VALUES (100, 0)")
+        return grouped
+
+    def test_coalesced_batches_stay_per_backend(self, grouped):
+        db = self.diverged(grouped)
+        mem = db.connect(async_workers=1, coalesce=True, backend="memory")
+        lite = db.connect(async_workers=1, coalesce=True, backend="sqlite")
+        with mem, lite:
+            gates = [hold_worker(mem), hold_worker(lite)]
+            mem_handles = [mem.submit_query(SQL, [0]) for _ in range(4)]
+            lite_handles = [lite.submit_query(SQL, [0]) for _ in range(4)]
+            for gate in gates:
+                gate.set()
+            # grp 0 holds 10 seeded rows; only memory got the 11th.
+            assert [
+                mem.fetch_result(h).scalar() for h in mem_handles
+            ] == [11] * 4
+            assert [
+                lite.fetch_result(h).scalar() for h in lite_handles
+            ] == [10] * 4
+            assert db.server.stats.batched_calls == 1
+            assert db.backend("sqlite").stats.batched_calls == 1
+
+    def test_foreign_prepared_handle_is_re_prepared(self, grouped):
+        db = self.diverged(grouped)
+        mem = db.connect(async_workers=1, backend="memory")
+        lite = db.connect(async_workers=1, coalesce=True, backend="sqlite")
+        with mem, lite:
+            prepared = mem.prepare(SQL)
+            gate = hold_worker(lite)
+            handles = [lite.submit_query(prepared, [0]) for _ in range(3)]
+            gate.set()
+            # Routed to sqlite (the connection's backend), not to the
+            # handle's origin server.
+            assert [
+                lite.fetch_result(h).scalar() for h in handles
+            ] == [10] * 3
+            assert db.backend("sqlite").stats.batched_calls == 1
+            assert db.server.stats.batched_calls == 0
+
+    def test_statement_ids_collide_across_backends(self, grouped):
+        # The precondition that makes the (origin, id) key necessary:
+        # both stores hand out the same ids independently.
+        mem_prepared = grouped.server.prepare(SQL)
+        lite_prepared = grouped.backend("sqlite").prepare(SQL)
+        assert mem_prepared.statement_id == lite_prepared.statement_id
+        assert mem_prepared.origin is grouped.server
+        assert lite_prepared.origin is grouped.backend("sqlite")

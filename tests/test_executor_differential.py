@@ -311,7 +311,11 @@ class TestScanObservability:
 
     def test_execute_span_carries_executor(self):
         with self._scan_db() as db:
-            with db.connect(trace=True, executor="columnar") as conn:
+            # scan_batches is a columnar-engine span attribute: pin
+            # the in-memory backend.
+            with db.connect(
+                trace=True, executor="columnar", backend="memory"
+            ) as conn:
                 conn.execute_query("SELECT id FROM t WHERE a = ?", (1,))
             spans = [
                 span

@@ -64,7 +64,8 @@ class TestSnapshotSurfaces:
     def test_server_snapshot(self, grouped):
         with grouped.connect(async_workers=2) as conn:
             run_some_queries(conn)
-        snap = grouped.server.stats_snapshot()
+            store = conn.server  # whichever backend the conn talks to
+        snap = store.stats_snapshot()
         json.dumps(snap)
         assert snap["statements_executed"] > 0
         assert snap["prepared_cached"] >= 1
